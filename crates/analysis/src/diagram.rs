@@ -1,0 +1,188 @@
+//! The Fig. 8 threat-model block diagram for the STS-ECQV KD.
+//!
+//! Assets ← threats ← countermeasures, with the one partial edge the
+//! paper marks `[R]`: node capture is only mitigated for *past*
+//! traffic.
+
+use crate::threats::Threat;
+
+/// The countermeasures of Fig. 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Countermeasure {
+    /// C1 — forward secrecy (ephemeral STS exchange).
+    ForwardSecrecy,
+    /// C2 — ECDSA authentication under ECQV-certified keys.
+    EcdsaAuthentication,
+    /// C3 — the combined STS & ECQV protocol property (encrypted,
+    /// transcript-bound authentication responses).
+    StsEcqvProperty,
+}
+
+impl Countermeasure {
+    /// The paper's tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Countermeasure::ForwardSecrecy => "C1",
+            Countermeasure::EcdsaAuthentication => "C2",
+            Countermeasure::StsEcqvProperty => "C3",
+        }
+    }
+
+    /// Label text.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Countermeasure::ForwardSecrecy => "Forward Secrecy",
+            Countermeasure::EcdsaAuthentication => "ECDSA Authentication",
+            Countermeasure::StsEcqvProperty => "STS & ECQV Property",
+        }
+    }
+}
+
+/// An edge of the diagram: countermeasure → threat, possibly partial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mitigation {
+    /// The countermeasure.
+    pub counter: Countermeasure,
+    /// The threat it addresses.
+    pub threat: Threat,
+    /// Whether protection is only partial (the paper's `[R]` edge).
+    pub partial: bool,
+}
+
+/// The Fig. 8 edge set for the STS-ECQV design.
+pub fn mitigations() -> Vec<Mitigation> {
+    use Countermeasure::*;
+    vec![
+        Mitigation {
+            counter: ForwardSecrecy,
+            threat: Threat::PastDataExposure,
+            partial: false,
+        },
+        Mitigation {
+            counter: ForwardSecrecy,
+            threat: Threat::NodeCapture,
+            partial: true, // [R]: past messages only
+        },
+        Mitigation {
+            counter: ForwardSecrecy,
+            threat: Threat::KeyDataReuse,
+            partial: false,
+        },
+        Mitigation {
+            counter: EcdsaAuthentication,
+            threat: Threat::Mitm,
+            partial: false,
+        },
+        Mitigation {
+            counter: StsEcqvProperty,
+            threat: Threat::KeyDerivationExploit,
+            partial: false,
+        },
+        Mitigation {
+            counter: StsEcqvProperty,
+            threat: Threat::KeyDataReuse,
+            partial: false,
+        },
+    ]
+}
+
+/// Renders the diagram as indented text.
+pub fn render_text() -> String {
+    let mut out = String::new();
+    out.push_str("STS-ECQV KD threat model (paper Fig. 8)\n");
+    out.push_str("=======================================\n");
+    for asset in ["Session Data", "Security Credentials"] {
+        out.push_str(&format!("[asset] {asset}\n"));
+        for threat in Threat::ALL {
+            if threat.asset() != asset {
+                continue;
+            }
+            out.push_str(&format!("  [{}] {}\n", threat.tag(), threat.label()));
+            for m in mitigations().iter().filter(|m| m.threat == threat) {
+                out.push_str(&format!(
+                    "    ← [{}] {}{}\n",
+                    m.counter.tag(),
+                    m.counter.label(),
+                    if m.partial { "  [R] partial protection" } else { "" }
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the diagram in Graphviz DOT.
+pub fn render_dot() -> String {
+    let mut out = String::from("digraph sts_ecqv_threat_model {\n  rankdir=LR;\n");
+    out.push_str("  node [shape=box];\n");
+    for threat in Threat::ALL {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\";\n",
+            threat.tag(),
+            threat.asset()
+        ));
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{} {}\"];\n",
+            threat.tag(),
+            threat.tag(),
+            threat.label()
+        ));
+    }
+    for m in mitigations() {
+        out.push_str(&format!(
+            "  \"{}\" -> \"{}\" [style={}];\n",
+            m.counter.tag(),
+            m.threat.tag(),
+            if m.partial { "dashed" } else { "solid" }
+        ));
+        out.push_str(&format!(
+            "  \"{}\" [label=\"{} {}\" shape=ellipse];\n",
+            m.counter.tag(),
+            m.counter.tag(),
+            m.counter.label()
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_threat_has_a_mitigation() {
+        let edges = mitigations();
+        for threat in Threat::ALL {
+            assert!(
+                edges.iter().any(|m| m.threat == threat),
+                "{threat:?} unmitigated"
+            );
+        }
+    }
+
+    #[test]
+    fn node_capture_is_the_only_partial_edge() {
+        let partials: Vec<_> = mitigations().into_iter().filter(|m| m.partial).collect();
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0].threat, Threat::NodeCapture);
+    }
+
+    #[test]
+    fn text_render_mentions_everything() {
+        let s = render_text();
+        for threat in Threat::ALL {
+            assert!(s.contains(threat.tag()));
+        }
+        assert!(s.contains("[R] partial"));
+        assert!(s.contains("Session Data"));
+    }
+
+    #[test]
+    fn dot_render_is_valid_shape() {
+        let s = render_dot();
+        assert!(s.starts_with("digraph"));
+        assert!(s.ends_with("}\n"));
+        assert!(s.contains("style=dashed"));
+    }
+}

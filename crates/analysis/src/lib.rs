@@ -1,0 +1,27 @@
+//! Security analysis of the KD protocols (paper §IV-A, §V-D).
+//!
+//! Two complementary halves:
+//!
+//! * a **rule-based model** ([`properties`], [`threats`], [`rules`])
+//!   that derives the paper's Table III from structural protocol
+//!   properties rather than hardcoding verdicts, and renders the Fig. 8
+//!   threat/countermeasure diagram ([`diagram`]);
+//! * **executable attacks** ([`attacks`]) that turn the qualitative
+//!   claims into passing tests: passive capture plus later key
+//!   compromise (forward secrecy), key-material reuse, MitM without CA
+//!   material, and a key-compromise-impersonation (KCI) attack that
+//!   succeeds against the session-key-bound baseline and fails against
+//!   STS.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod diagram;
+pub mod properties;
+pub mod rules;
+pub mod threats;
+
+pub use properties::{AuthMechanism, KeyDiversification, ProtocolProperties};
+pub use rules::{security_matrix, SecurityMatrix};
+pub use threats::{Protection, Threat};

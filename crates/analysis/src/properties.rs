@@ -1,0 +1,142 @@
+//! Structural protocol properties from which Table III is derived.
+
+use ecq_proto::ProtocolKind;
+
+/// How peers authenticate each other.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthMechanism {
+    /// ECDSA signatures under ECQV-certified keys (S-ECDSA, STS).
+    EcdsaSignature,
+    /// Symmetric MACs keyed by the derived session key (SCIANC).
+    SymmetricSessionBound,
+    /// Symmetric MACs under pre-shared per-peer keys (PORAMB).
+    SymmetricPreShared,
+}
+
+/// How the session key varies across communication sessions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KeyDiversification {
+    /// Fresh ephemeral Diffie–Hellman per session (STS): the
+    /// underlying secret itself changes.
+    Ephemeral,
+    /// Public nonces mixed into the KDF over a static premaster
+    /// (SCIANC): the output varies but the secret base does not.
+    NonceMixed,
+    /// The key is a direct function of the certificate material
+    /// (S-ECDSA, PORAMB's pairwise base secret).
+    Static,
+}
+
+/// The property sheet of one protocol family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProtocolProperties {
+    /// The protocol.
+    pub kind: ProtocolKind,
+    /// Authentication mechanism.
+    pub auth: AuthMechanism,
+    /// Key diversification class.
+    pub diversification: KeyDiversification,
+    /// Whether compromise of long-term keys reveals past session keys
+    /// from recorded transcripts (¬ forward secrecy).
+    pub past_sessions_recoverable: bool,
+    /// Whether a node must store one secret per peer (update burden).
+    pub per_peer_key_storage: bool,
+    /// Whether the session key and the authentication secret coincide.
+    pub session_key_bound_auth: bool,
+}
+
+impl ProtocolProperties {
+    /// The property sheet for each of the four Table III columns.
+    /// (The STS optimization variants share STS's sheet — they change
+    /// scheduling, not structure.)
+    pub fn of(kind: ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::Sts | ProtocolKind::StsOptI | ProtocolKind::StsOptII => {
+                ProtocolProperties {
+                    kind: ProtocolKind::Sts,
+                    auth: AuthMechanism::EcdsaSignature,
+                    diversification: KeyDiversification::Ephemeral,
+                    past_sessions_recoverable: false,
+                    per_peer_key_storage: false,
+                    session_key_bound_auth: false,
+                }
+            }
+            ProtocolKind::SEcdsa | ProtocolKind::SEcdsaExt => ProtocolProperties {
+                kind: ProtocolKind::SEcdsa,
+                auth: AuthMechanism::EcdsaSignature,
+                diversification: KeyDiversification::Static,
+                past_sessions_recoverable: true,
+                per_peer_key_storage: false,
+                session_key_bound_auth: false,
+            },
+            ProtocolKind::Scianc => ProtocolProperties {
+                kind: ProtocolKind::Scianc,
+                auth: AuthMechanism::SymmetricSessionBound,
+                diversification: KeyDiversification::NonceMixed,
+                past_sessions_recoverable: true,
+                per_peer_key_storage: false,
+                session_key_bound_auth: true,
+            },
+            ProtocolKind::Poramb => ProtocolProperties {
+                kind: ProtocolKind::Poramb,
+                auth: AuthMechanism::SymmetricPreShared,
+                diversification: KeyDiversification::Static,
+                past_sessions_recoverable: true,
+                per_peer_key_storage: true,
+                session_key_bound_auth: false,
+            },
+        }
+    }
+
+    /// The four distinct Table III columns in paper order.
+    pub fn table3_columns() -> [ProtocolProperties; 4] {
+        [
+            Self::of(ProtocolKind::SEcdsa),
+            Self::of(ProtocolKind::Sts),
+            Self::of(ProtocolKind::Scianc),
+            Self::of(ProtocolKind::Poramb),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_sts_is_ephemeral() {
+        for p in ProtocolProperties::table3_columns() {
+            let ephemeral = p.diversification == KeyDiversification::Ephemeral;
+            assert_eq!(ephemeral, p.kind == ProtocolKind::Sts);
+            assert_eq!(!ephemeral, p.past_sessions_recoverable);
+        }
+    }
+
+    #[test]
+    fn optimization_variants_share_sts_sheet() {
+        assert_eq!(
+            ProtocolProperties::of(ProtocolKind::StsOptI),
+            ProtocolProperties::of(ProtocolKind::Sts)
+        );
+        assert_eq!(
+            ProtocolProperties::of(ProtocolKind::StsOptII),
+            ProtocolProperties::of(ProtocolKind::Sts)
+        );
+        assert_eq!(
+            ProtocolProperties::of(ProtocolKind::SEcdsaExt),
+            ProtocolProperties::of(ProtocolKind::SEcdsa)
+        );
+    }
+
+    #[test]
+    fn poramb_storage_burden() {
+        assert!(ProtocolProperties::of(ProtocolKind::Poramb).per_peer_key_storage);
+        assert!(!ProtocolProperties::of(ProtocolKind::Sts).per_peer_key_storage);
+    }
+
+    #[test]
+    fn scianc_binds_auth_to_session_key() {
+        assert!(ProtocolProperties::of(ProtocolKind::Scianc).session_key_bound_auth);
+        assert!(!ProtocolProperties::of(ProtocolKind::SEcdsa).session_key_bound_auth);
+    }
+}

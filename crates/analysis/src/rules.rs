@@ -1,0 +1,224 @@
+//! Derivation of the paper's Table III from protocol properties.
+//!
+//! Each cell follows from §V-D's arguments, encoded as rules:
+//!
+//! * **Data exposure (T1)** — full only with forward secrecy; every
+//!   SKD leaves recorded traffic decryptable after a later key leak.
+//! * **Node capturing (T3)** — nobody is fully protected ("even with
+//!   STS, the protection can only be guaranteed for the previous
+//!   messages, not the future ones"); signature-based designs degrade
+//!   gracefully (∆), symmetric designs hand the attacker reusable
+//!   authentication secrets (✗).
+//! * **Key data reuse (T4)** — full with ephemeral secrets; partial
+//!   with nonce-mixed KDFs (output varies, base secret does not);
+//!   weak when the key is a direct function of certificate material.
+//! * **Key derivation exploitation (T5)** — full when every key is
+//!   fresh, high-entropy and held only by the two parties; partial
+//!   otherwise.
+//! * **Authentication procedure** — full for ECDSA mutual
+//!   authentication; partial for the symmetric schemes (SCIANC ties
+//!   authentication to the session key; PORAMB needs per-peer key
+//!   storage, making updates troublesome).
+
+use crate::properties::{AuthMechanism, KeyDiversification, ProtocolProperties};
+use crate::threats::{Protection, Threat};
+use ecq_proto::ProtocolKind;
+
+/// Rates one protocol against one threat.
+pub fn rate(props: &ProtocolProperties, threat: Threat) -> Protection {
+    match threat {
+        Threat::PastDataExposure => {
+            if props.past_sessions_recoverable {
+                Protection::Weak
+            } else {
+                Protection::Full
+            }
+        }
+        Threat::NodeCapture => match props.auth {
+            // Captured signature keys do not decrypt *previous*
+            // STS/S-ECDSA-authenticated traffic by themselves… but no
+            // scheme protects future traffic from a captured node.
+            AuthMechanism::EcdsaSignature => Protection::Partial,
+            _ => Protection::Weak,
+        },
+        Threat::KeyDataReuse => match props.diversification {
+            KeyDiversification::Ephemeral => Protection::Full,
+            KeyDiversification::NonceMixed => Protection::Partial,
+            KeyDiversification::Static => Protection::Weak,
+        },
+        Threat::KeyDerivationExploit => {
+            if props.diversification == KeyDiversification::Ephemeral {
+                Protection::Full
+            } else {
+                Protection::Partial
+            }
+        }
+        Threat::Mitm => match props.auth {
+            AuthMechanism::EcdsaSignature => Protection::Full,
+            _ => Protection::Partial,
+        },
+    }
+}
+
+/// The assembled Table III.
+#[derive(Clone, Debug)]
+pub struct SecurityMatrix {
+    /// Column protocols in paper order.
+    pub columns: Vec<ProtocolKind>,
+    /// Rows: `(threat, per-column protection)`.
+    pub rows: Vec<(Threat, Vec<Protection>)>,
+}
+
+/// Builds Table III (row order matching the paper: data exposure, node
+/// capturing, key data reuse, key derivation exploit, authentication
+/// procedure).
+pub fn security_matrix() -> SecurityMatrix {
+    let columns_props = ProtocolProperties::table3_columns();
+    let row_order = [
+        Threat::PastDataExposure,
+        Threat::NodeCapture,
+        Threat::KeyDataReuse,
+        Threat::KeyDerivationExploit,
+        Threat::Mitm,
+    ];
+    SecurityMatrix {
+        columns: columns_props.iter().map(|p| p.kind).collect(),
+        rows: row_order
+            .iter()
+            .map(|t| {
+                (
+                    *t,
+                    columns_props.iter().map(|p| rate(p, *t)).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl SecurityMatrix {
+    /// The protection of `kind` against `threat`.
+    pub fn lookup(&self, kind: ProtocolKind, threat: Threat) -> Option<Protection> {
+        let col = self.columns.iter().position(|k| *k == kind)?;
+        self.rows
+            .iter()
+            .find(|(t, _)| *t == threat)
+            .map(|(_, cells)| cells[col])
+    }
+
+    /// Renders the paper-style table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{:<18}", ""));
+        for c in &self.columns {
+            out.push_str(&format!("{:>12}", c.label()));
+        }
+        out.push('\n');
+        for (threat, cells) in &self.rows {
+            out.push_str(&format!("{:<18}", threat.label()));
+            for p in cells {
+                out.push_str(&format!("{:>12}", p.glyph()));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The literal Table III of the paper (column order S-ECDSA, STS,
+    /// SCIANC, PORAMB).
+    const PAPER_TABLE3: [(Threat, [Protection; 4]); 5] = [
+        (
+            Threat::PastDataExposure,
+            [
+                Protection::Weak,
+                Protection::Full,
+                Protection::Weak,
+                Protection::Weak,
+            ],
+        ),
+        (
+            Threat::NodeCapture,
+            [
+                Protection::Partial,
+                Protection::Partial,
+                Protection::Weak,
+                Protection::Weak,
+            ],
+        ),
+        (
+            Threat::KeyDataReuse,
+            [
+                Protection::Weak,
+                Protection::Full,
+                Protection::Partial,
+                Protection::Weak,
+            ],
+        ),
+        (
+            Threat::KeyDerivationExploit,
+            [
+                Protection::Partial,
+                Protection::Full,
+                Protection::Partial,
+                Protection::Partial,
+            ],
+        ),
+        (
+            Threat::Mitm,
+            [
+                Protection::Full,
+                Protection::Full,
+                Protection::Partial,
+                Protection::Partial,
+            ],
+        ),
+    ];
+
+    #[test]
+    fn derived_matrix_reproduces_paper_table3() {
+        let matrix = security_matrix();
+        assert_eq!(
+            matrix.columns,
+            vec![
+                ProtocolKind::SEcdsa,
+                ProtocolKind::Sts,
+                ProtocolKind::Scianc,
+                ProtocolKind::Poramb
+            ]
+        );
+        for (threat, expected) in PAPER_TABLE3 {
+            for (i, kind) in matrix.columns.clone().into_iter().enumerate() {
+                assert_eq!(
+                    matrix.lookup(kind, threat),
+                    Some(expected[i]),
+                    "{threat:?} / {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sts_dominates_every_row() {
+        let matrix = security_matrix();
+        for (threat, cells) in &matrix.rows {
+            let sts = matrix.lookup(ProtocolKind::Sts, *threat).unwrap();
+            for p in cells {
+                assert!(sts >= *p, "{threat:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_glyphs_and_labels() {
+        let s = security_matrix().render();
+        assert!(s.contains("S-ECDSA"));
+        assert!(s.contains("✓"));
+        assert!(s.contains("∆"));
+        assert!(s.contains("✗"));
+        assert!(s.contains("Key data reuse"));
+    }
+}

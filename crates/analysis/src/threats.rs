@@ -1,0 +1,107 @@
+//! The threat model of §IV-A and the protection scale of Table III.
+
+/// The five threats the design must answer (paper §IV-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Threat {
+    /// T1 — past data exposure.
+    PastDataExposure,
+    /// T2 — man-in-the-middle attacks.
+    Mitm,
+    /// T3 — node capturing attacks.
+    NodeCapture,
+    /// T4 — key data reuse for further session calculations.
+    KeyDataReuse,
+    /// T5 — key derivation exploitation.
+    KeyDerivationExploit,
+}
+
+impl Threat {
+    /// All threats, T1–T5.
+    pub const ALL: [Threat; 5] = [
+        Threat::PastDataExposure,
+        Threat::Mitm,
+        Threat::NodeCapture,
+        Threat::KeyDataReuse,
+        Threat::KeyDerivationExploit,
+    ];
+
+    /// The paper's tag ("T1"…"T5").
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Threat::PastDataExposure => "T1",
+            Threat::Mitm => "T2",
+            Threat::NodeCapture => "T3",
+            Threat::KeyDataReuse => "T4",
+            Threat::KeyDerivationExploit => "T5",
+        }
+    }
+
+    /// Human-readable name (Table III row labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Threat::PastDataExposure => "Data exposure",
+            Threat::Mitm => "MitM / Auth. procedure",
+            Threat::NodeCapture => "Node capturing",
+            Threat::KeyDataReuse => "Key data reuse",
+            Threat::KeyDerivationExploit => "Key der. exploit",
+        }
+    }
+
+    /// Which system asset the threat targets (Fig. 8 left column).
+    pub fn asset(&self) -> &'static str {
+        match self {
+            Threat::PastDataExposure | Threat::KeyDataReuse => "Session Data",
+            Threat::Mitm | Threat::NodeCapture | Threat::KeyDerivationExploit => {
+                "Security Credentials"
+            }
+        }
+    }
+}
+
+/// Table III's three-level protection scale.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Protection {
+    /// ✗ — weak or no countermeasure.
+    Weak,
+    /// ∆ — partial protection.
+    Partial,
+    /// ✓ — fully protected.
+    Full,
+}
+
+impl Protection {
+    /// The paper's glyph.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Protection::Weak => "✗",
+            Protection::Partial => "∆",
+            Protection::Full => "✓",
+        }
+    }
+}
+
+impl core::fmt::Display for Protection {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.glyph())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_and_assets() {
+        assert_eq!(Threat::PastDataExposure.tag(), "T1");
+        assert_eq!(Threat::KeyDerivationExploit.tag(), "T5");
+        assert_eq!(Threat::PastDataExposure.asset(), "Session Data");
+        assert_eq!(Threat::Mitm.asset(), "Security Credentials");
+    }
+
+    #[test]
+    fn protection_is_ordered() {
+        assert!(Protection::Weak < Protection::Partial);
+        assert!(Protection::Partial < Protection::Full);
+        assert_eq!(Protection::Full.glyph(), "✓");
+    }
+}

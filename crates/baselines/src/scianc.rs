@@ -1,0 +1,393 @@
+//! SCIANC: Sciancalepore et al. \[4\] — public-key authentication and key
+//! agreement with minimal airtime.
+//!
+//! Wire format (Table II):
+//!
+//! ```text
+//! A1: ID(16), Nonce(32), Cert(101)
+//! B1: ID(16), Nonce(32), Cert(101)
+//! A2: Auth MAC(32)
+//! B2: Auth MAC(32)
+//! Total 4 steps, 362 B
+//! ```
+//!
+//! Both sides exchange certificates and nonces in one round, derive the
+//! **static** premaster implicitly (`Prk_own · Q_peer`), stretch it with
+//! the nonces, and mutually authenticate with HMAC tags *keyed by the
+//! session key itself*. The paper's §V-D critique is structural and
+//! reproduced here: the nonces diversify but do not protect (they are
+//! public), and because authentication is keyed by `KS`, a session-key
+//! compromise also compromises future authentications ("key derivation
+//! exploitation": ∆ in Table III).
+
+use crate::skd::static_premaster_traced;
+use ecq_cert::{DeviceId, ImplicitCert};
+use ecq_crypto::hmac::hmac_sha256_concat;
+use ecq_crypto::HmacDrbg;
+use ecq_proto::{
+    Credentials, Endpoint, FieldKind, Message, OpTrace, PrimitiveOp, ProtocolError, Role,
+    SessionKey, StsPhase, WireField,
+};
+
+/// Domain-separation label for the SCIANC KDF.
+pub const KDF_LABEL: &[u8] = b"ecqv-scianc-v1";
+
+fn derive_ks(
+    own: &Credentials,
+    peer_cert: &ImplicitCert,
+    nonce_a: &[u8],
+    nonce_b: &[u8],
+    trace: &mut OpTrace,
+) -> Result<SessionKey, ProtocolError> {
+    let premaster = static_premaster_traced(own, peer_cert, trace)?;
+    let salt = [nonce_a, nonce_b].concat();
+    trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
+    Ok(SessionKey::derive(&premaster, &salt, KDF_LABEL))
+}
+
+/// The authentication MAC: keyed directly by the session key (the
+/// design choice the security analysis penalizes). Public so the
+/// attack simulations in `ecq-analysis` can act as a protocol-aware
+/// adversary.
+pub fn auth_mac(ks: &SessionKey, role: Role, nonce_a: &[u8], nonce_b: &[u8]) -> [u8; 32] {
+    let role_tag: &[u8] = match role {
+        Role::Initiator => b"A-auth",
+        Role::Responder => b"B-auth",
+    };
+    hmac_sha256_concat(ks.as_bytes(), &[role_tag, nonce_a, nonce_b])
+}
+
+#[derive(Debug)]
+enum InitState {
+    Start,
+    AwaitB1,
+    AwaitMac,
+    Established,
+    Failed,
+}
+
+/// Initiator-side SCIANC state machine.
+#[derive(Debug)]
+pub struct SciancInitiator {
+    creds: Credentials,
+    now: u32,
+    nonce: [u8; 32],
+    peer_nonce: Option<[u8; 32]>,
+    session: Option<SessionKey>,
+    state: InitState,
+    trace: OpTrace,
+}
+
+impl SciancInitiator {
+    /// Creates an initiator; draws its nonce eagerly.
+    pub fn new(creds: Credentials, now: u32, rng: &mut HmacDrbg) -> Self {
+        let mut trace = OpTrace::new();
+        trace.record(StsPhase::Other, PrimitiveOp::RandomBytes { bytes: 32 });
+        SciancInitiator {
+            creds,
+            now,
+            nonce: rng.bytes32(),
+            peer_nonce: None,
+            session: None,
+            state: InitState::Start,
+            trace,
+        }
+    }
+
+    fn handle_b1(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        let id_b = msg.field(FieldKind::Id)?;
+        let nonce_b: [u8; 32] = msg
+            .field(FieldKind::Nonce)?
+            .try_into()
+            .map_err(|_| ProtocolError::Decode)?;
+        let cert_b = ImplicitCert::from_bytes(msg.field(FieldKind::Cert)?)?;
+
+        // SCIANC validates the certificate's ID binding and validity —
+        // but note (paper §III): this does NOT authenticate the device;
+        // certificates are public and replayable.
+        if cert_b.subject.as_bytes() != id_b {
+            return Err(ProtocolError::AuthenticationFailed);
+        }
+        if !cert_b.is_valid_at(self.now) {
+            return Err(ProtocolError::Cert(ecq_cert::CertError::Expired));
+        }
+
+        let ks = derive_ks(&self.creds, &cert_b, &self.nonce, &nonce_b, &mut self.trace)?;
+        self.trace.record(StsPhase::Other, PrimitiveOp::MacTag);
+        let mac = auth_mac(&ks, Role::Initiator, &self.nonce, &nonce_b);
+
+        self.peer_nonce = Some(nonce_b);
+        self.session = Some(ks);
+        self.state = InitState::AwaitMac;
+        Ok(Some(Message::new(
+            "A2",
+            vec![WireField::new(FieldKind::Mac, mac.to_vec())],
+        )))
+    }
+
+    fn handle_mac(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        let mac = msg.field(FieldKind::Mac)?;
+        let ks = self.session.ok_or(ProtocolError::UnexpectedMessage)?;
+        let nonce_b = self.peer_nonce.ok_or(ProtocolError::UnexpectedMessage)?;
+        self.trace.record(StsPhase::Other, PrimitiveOp::MacVerify);
+        let expect = auth_mac(&ks, Role::Responder, &self.nonce, &nonce_b);
+        if !ecq_crypto::ct::eq(&expect, mac) {
+            return Err(ProtocolError::AuthenticationFailed);
+        }
+        self.state = InitState::Established;
+        Ok(None)
+    }
+}
+
+impl Endpoint for SciancInitiator {
+    fn id(&self) -> DeviceId {
+        self.creds.id
+    }
+    fn role(&self) -> Role {
+        Role::Initiator
+    }
+    fn start(&mut self) -> Result<Option<Message>, ProtocolError> {
+        match self.state {
+            InitState::Start => {
+                self.state = InitState::AwaitB1;
+                Ok(Some(Message::new(
+                    "A1",
+                    vec![
+                        WireField::new(FieldKind::Id, self.creds.id.as_bytes().to_vec()),
+                        WireField::new(FieldKind::Nonce, self.nonce.to_vec()),
+                        WireField::new(FieldKind::Cert, self.creds.cert.to_bytes().to_vec()),
+                    ],
+                )))
+            }
+            _ => Err(ProtocolError::UnexpectedMessage),
+        }
+    }
+    fn on_message(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        let result = match self.state {
+            InitState::AwaitB1 => self.handle_b1(msg),
+            InitState::AwaitMac => self.handle_mac(msg),
+            _ => Err(ProtocolError::UnexpectedMessage),
+        };
+        if result.is_err() {
+            self.state = InitState::Failed;
+            self.session = None;
+        }
+        result
+    }
+    fn is_established(&self) -> bool {
+        matches!(self.state, InitState::Established)
+    }
+    fn session_key(&self) -> Result<SessionKey, ProtocolError> {
+        match self.state {
+            InitState::Established => self.session.ok_or(ProtocolError::NotEstablished),
+            _ => Err(ProtocolError::NotEstablished),
+        }
+    }
+    fn trace(&self) -> &OpTrace {
+        &self.trace
+    }
+}
+
+#[derive(Debug)]
+enum RespState {
+    AwaitA1,
+    AwaitA2,
+    Established,
+    Failed,
+}
+
+/// Responder-side SCIANC state machine.
+#[derive(Debug)]
+pub struct SciancResponder {
+    creds: Credentials,
+    now: u32,
+    rng: HmacDrbg,
+    nonce: Option<[u8; 32]>,
+    peer_nonce: Option<[u8; 32]>,
+    session: Option<SessionKey>,
+    state: RespState,
+    trace: OpTrace,
+}
+
+impl SciancResponder {
+    /// Creates a responder.
+    pub fn new(creds: Credentials, now: u32, rng: &mut HmacDrbg) -> Self {
+        SciancResponder {
+            creds,
+            now,
+            rng: HmacDrbg::new(&rng.bytes32(), b"scianc-responder"),
+            nonce: None,
+            peer_nonce: None,
+            session: None,
+            state: RespState::AwaitA1,
+            trace: OpTrace::new(),
+        }
+    }
+
+    fn handle_a1(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        let id_a = msg.field(FieldKind::Id)?;
+        let nonce_a: [u8; 32] = msg
+            .field(FieldKind::Nonce)?
+            .try_into()
+            .map_err(|_| ProtocolError::Decode)?;
+        let cert_a = ImplicitCert::from_bytes(msg.field(FieldKind::Cert)?)?;
+        if cert_a.subject.as_bytes() != id_a {
+            return Err(ProtocolError::AuthenticationFailed);
+        }
+        if !cert_a.is_valid_at(self.now) {
+            return Err(ProtocolError::Cert(ecq_cert::CertError::Expired));
+        }
+
+        self.trace
+            .record(StsPhase::Other, PrimitiveOp::RandomBytes { bytes: 32 });
+        let nonce_b = self.rng.bytes32();
+        let ks = derive_ks(&self.creds, &cert_a, &nonce_a, &nonce_b, &mut self.trace)?;
+
+        self.nonce = Some(nonce_b);
+        self.peer_nonce = Some(nonce_a);
+        self.session = Some(ks);
+        self.state = RespState::AwaitA2;
+        Ok(Some(Message::new(
+            "B1",
+            vec![
+                WireField::new(FieldKind::Id, self.creds.id.as_bytes().to_vec()),
+                WireField::new(FieldKind::Nonce, nonce_b.to_vec()),
+                WireField::new(FieldKind::Cert, self.creds.cert.to_bytes().to_vec()),
+            ],
+        )))
+    }
+
+    fn handle_a2(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        let mac = msg.field(FieldKind::Mac)?;
+        let ks = self.session.ok_or(ProtocolError::UnexpectedMessage)?;
+        let nonce_a = self.peer_nonce.ok_or(ProtocolError::UnexpectedMessage)?;
+        let nonce_b = self.nonce.ok_or(ProtocolError::UnexpectedMessage)?;
+        self.trace.record(StsPhase::Other, PrimitiveOp::MacVerify);
+        let expect = auth_mac(&ks, Role::Initiator, &nonce_a, &nonce_b);
+        if !ecq_crypto::ct::eq(&expect, mac) {
+            return Err(ProtocolError::AuthenticationFailed);
+        }
+        self.trace.record(StsPhase::Other, PrimitiveOp::MacTag);
+        let own = auth_mac(&ks, Role::Responder, &nonce_a, &nonce_b);
+        self.state = RespState::Established;
+        Ok(Some(Message::new(
+            "B2",
+            vec![WireField::new(FieldKind::Mac, own.to_vec())],
+        )))
+    }
+}
+
+impl Endpoint for SciancResponder {
+    fn id(&self) -> DeviceId {
+        self.creds.id
+    }
+    fn role(&self) -> Role {
+        Role::Responder
+    }
+    fn start(&mut self) -> Result<Option<Message>, ProtocolError> {
+        Ok(None)
+    }
+    fn on_message(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        let result = match self.state {
+            RespState::AwaitA1 => self.handle_a1(msg),
+            RespState::AwaitA2 => self.handle_a2(msg),
+            _ => Err(ProtocolError::UnexpectedMessage),
+        };
+        if result.is_err() {
+            self.state = RespState::Failed;
+            self.session = None;
+        }
+        result
+    }
+    fn is_established(&self) -> bool {
+        matches!(self.state, RespState::Established)
+    }
+    fn session_key(&self) -> Result<SessionKey, ProtocolError> {
+        match self.state {
+            RespState::Established => self.session.ok_or(ProtocolError::NotEstablished),
+            _ => Err(ProtocolError::NotEstablished),
+        }
+    }
+    fn trace(&self) -> &OpTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecq_cert::ca::CertificateAuthority;
+
+    fn setup(seed: u64) -> (Credentials, Credentials, HmacDrbg) {
+        let mut rng = HmacDrbg::from_seed(seed);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let a = Credentials::provision(&ca, DeviceId::from_label("a"), 0, 100, &mut rng).unwrap();
+        let b = Credentials::provision(&ca, DeviceId::from_label("b"), 0, 100, &mut rng).unwrap();
+        (a, b, rng)
+    }
+
+    #[test]
+    fn mac_keyed_by_session_key() {
+        // A holder of KS can forge future authentication MACs — the
+        // structural tie the security analysis penalizes.
+        let (a, b, mut rng) = setup(231);
+        let out = crate::establish_scianc(&a, &b, 0, &mut rng).unwrap();
+        let ks = out.initiator_key;
+        let forged = auth_mac(&ks, Role::Initiator, &[0u8; 32], &[1u8; 32]);
+        let recomputed = auth_mac(&ks, Role::Initiator, &[0u8; 32], &[1u8; 32]);
+        assert_eq!(forged, recomputed);
+    }
+
+    #[test]
+    fn tampered_mac_detected() {
+        let (a, b, mut rng) = setup(232);
+        let mut rng_a = HmacDrbg::new(&rng.bytes32(), b"x");
+        let mut rng_b = HmacDrbg::new(&rng.bytes32(), b"y");
+        let mut alice = SciancInitiator::new(a, 0, &mut rng_a);
+        let mut bob = SciancResponder::new(b, 0, &mut rng_b);
+        let a1 = alice.start().unwrap().unwrap();
+        let b1 = bob.on_message(&a1).unwrap().unwrap();
+        let mut a2 = alice.on_message(&b1).unwrap().unwrap();
+        a2.fields[0].bytes[5] ^= 1;
+        assert_eq!(
+            bob.on_message(&a2).unwrap_err(),
+            ProtocolError::AuthenticationFailed
+        );
+    }
+
+    #[test]
+    fn ec_operation_count_is_two_per_side() {
+        // SCIANC's Table I advantage: only reconstruction + ECDH, no
+        // signatures. The trace must show exactly 2 EC multiplications
+        // per side.
+        let (a, b, mut rng) = setup(233);
+        let out = crate::establish_scianc(&a, &b, 0, &mut rng).unwrap();
+        for role in [Role::Initiator, Role::Responder] {
+            let t = out.transcript.trace(role);
+            assert_eq!(t.count_op(PrimitiveOp::PublicKeyReconstruction), 1);
+            assert_eq!(t.count_op(PrimitiveOp::EcdhDerive), 1);
+            assert_eq!(t.count_op(PrimitiveOp::EcdsaSign), 0);
+            assert_eq!(t.count_op(PrimitiveOp::EcdsaVerify), 0);
+        }
+    }
+
+    #[test]
+    fn id_cert_mismatch_rejected() {
+        let (a, b, mut rng) = setup(234);
+        let mut rng_b = HmacDrbg::new(&rng.bytes32(), b"y");
+        let mut bob = SciancResponder::new(b, 0, &mut rng_b);
+        // Present alice's cert under a different claimed ID.
+        let msg = Message::new(
+            "A1",
+            vec![
+                WireField::new(FieldKind::Id, vec![9u8; 16]),
+                WireField::new(FieldKind::Nonce, vec![0u8; 32]),
+                WireField::new(FieldKind::Cert, a.cert.to_bytes().to_vec()),
+            ],
+        );
+        assert_eq!(
+            bob.on_message(&msg).unwrap_err(),
+            ProtocolError::AuthenticationFailed
+        );
+    }
+}

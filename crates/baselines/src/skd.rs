@@ -1,0 +1,94 @@
+//! Static key derivation (SKD) helpers shared by the baselines.
+//!
+//! §II-A of the paper: `Sk = Prk_a · Puk_b = Prk_b · Puk_a` over the
+//! long-term, certificate-bound key pairs. The peer's public key is
+//! derived implicitly from its certificate (eq. (1)), so the premaster
+//! is fully determined by the two certificates — it only changes when
+//! the certificates do. Everything derived from it inherits that
+//! staleness, which is precisely the forward-secrecy gap.
+
+use ecq_cert::{reconstruct_public_key, ImplicitCert};
+use ecq_proto::{Credentials, OpTrace, PrimitiveOp, ProtocolError, StsPhase};
+
+/// Computes the static premaster secret between `own` credentials and a
+/// peer certificate: `Prk_own · Q_peer` with `Q_peer` implicitly
+/// derived.
+///
+/// # Errors
+///
+/// Certificate/point errors from the implicit derivation or the ECDH.
+pub fn static_premaster(
+    own: &Credentials,
+    peer_cert: &ImplicitCert,
+) -> Result<[u8; 32], ProtocolError> {
+    let q_peer = reconstruct_public_key(peer_cert, &own.ca_public)?;
+    let secret = ecq_p256::ecdh::shared_secret(&own.keys.private, &q_peer)?;
+    Ok(secret)
+}
+
+/// Trace-recording variant of [`static_premaster`]: bills one
+/// public-key reconstruction and one ECDH derivation to Op2 (the
+/// operation class the paper's cost model assigns this work to).
+///
+/// # Errors
+///
+/// Same as [`static_premaster`].
+pub fn static_premaster_traced(
+    own: &Credentials,
+    peer_cert: &ImplicitCert,
+    trace: &mut OpTrace,
+) -> Result<[u8; 32], ProtocolError> {
+    trace.record(
+        StsPhase::Op2KeyDerivation,
+        PrimitiveOp::PublicKeyReconstruction,
+    );
+    trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::EcdhDerive);
+    static_premaster(own, peer_cert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecq_cert::ca::CertificateAuthority;
+    use ecq_cert::DeviceId;
+    use ecq_crypto::HmacDrbg;
+
+    #[test]
+    fn premaster_is_symmetric_and_static() {
+        let mut rng = HmacDrbg::from_seed(211);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let a = Credentials::provision(&ca, DeviceId::from_label("a"), 0, 10, &mut rng).unwrap();
+        let b = Credentials::provision(&ca, DeviceId::from_label("b"), 0, 10, &mut rng).unwrap();
+        let ab = static_premaster(&a, &b.cert).unwrap();
+        let ba = static_premaster(&b, &a.cert).unwrap();
+        assert_eq!(ab, ba);
+        // Re-computation yields the identical secret: nothing session-
+        // specific enters the derivation.
+        assert_eq!(ab, static_premaster(&a, &b.cert).unwrap());
+    }
+
+    #[test]
+    fn traced_variant_records_op2() {
+        let mut rng = HmacDrbg::from_seed(212);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let a = Credentials::provision(&ca, DeviceId::from_label("a"), 0, 10, &mut rng).unwrap();
+        let b = Credentials::provision(&ca, DeviceId::from_label("b"), 0, 10, &mut rng).unwrap();
+        let mut trace = OpTrace::new();
+        static_premaster_traced(&a, &b.cert, &mut trace).unwrap();
+        assert_eq!(trace.count_op(PrimitiveOp::PublicKeyReconstruction), 1);
+        assert_eq!(trace.count_op(PrimitiveOp::EcdhDerive), 1);
+    }
+
+    #[test]
+    fn different_peer_different_secret() {
+        let mut rng = HmacDrbg::from_seed(213);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let a = Credentials::provision(&ca, DeviceId::from_label("a"), 0, 10, &mut rng).unwrap();
+        let b = Credentials::provision(&ca, DeviceId::from_label("b"), 0, 10, &mut rng).unwrap();
+        let c = Credentials::provision(&ca, DeviceId::from_label("c"), 0, 10, &mut rng).unwrap();
+        assert_ne!(
+            static_premaster(&a, &b.cert).unwrap(),
+            static_premaster(&a, &c.cert).unwrap()
+        );
+    }
+}

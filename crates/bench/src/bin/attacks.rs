@@ -1,0 +1,65 @@
+//! Runs the executable §V-D attack experiments and prints a report.
+
+use ecq_analysis::attacks::{forward_secrecy, kci, key_reuse, mitm, TestDeployment};
+
+fn main() {
+    println!("Executable security experiments (paper §IV-A / §V-D)\n");
+
+    // T1 — past data exposure.
+    {
+        let mut d = TestDeployment::new(1001);
+        let cap = forward_secrecy::capture_s_ecdsa(&mut d).expect("capture");
+        let leaked = d.alice.keys.private;
+        let rec = forward_secrecy::s_ecdsa_offline_decrypt(&cap, &leaked, &d.ca.public_key());
+        println!(
+            "[T1] S-ECDSA transcript + later key leak → decrypts: {}",
+            rec.as_deref() == Some(cap.plaintext.as_slice())
+        );
+
+        let mut d = TestDeployment::new(1002);
+        let cap = forward_secrecy::capture_sts(&mut d).expect("capture");
+        let leaked = d.alice.keys.private;
+        let rec = forward_secrecy::sts_offline_decrypt_attempt(&cap, &leaked, &d.ca.public_key());
+        println!(
+            "[T1] STS transcript + later key leak → decrypts: {}",
+            rec.as_deref() == Some(cap.plaintext.as_slice())
+        );
+    }
+
+    // T4 — key data reuse.
+    {
+        let mut d = TestDeployment::new(1003);
+        let r = key_reuse::s_ecdsa_reuse(&mut d, 5).expect("sessions");
+        println!(
+            "[T4] S-ECDSA: {} sessions → {} distinct keys, {} distinct premasters",
+            r.sessions, r.distinct_session_keys, r.distinct_premasters
+        );
+        let r = key_reuse::sts_reuse(&mut d, 5).expect("sessions");
+        println!(
+            "[T4] STS:     {} sessions → {} distinct keys, {} distinct premasters",
+            r.sessions, r.distinct_session_keys, r.distinct_premasters
+        );
+    }
+
+    // T2 — MitM.
+    {
+        let mut d = TestDeployment::new(1004);
+        println!(
+            "[T2] STS vs rogue-CA certificate: {:?}",
+            mitm::sts_rogue_certificate(&mut d)
+        );
+        let mut d = TestDeployment::new(1005);
+        println!(
+            "[T2] STS vs ephemeral-point substitution: {:?}",
+            mitm::sts_point_substitution(&mut d)
+        );
+    }
+
+    // KCI.
+    {
+        let mut d = TestDeployment::new(1006);
+        println!("[KCI] SCIANC with victim's leaked key: {:?}", kci::scianc_kci(&mut d));
+        let mut d = TestDeployment::new(1007);
+        println!("[KCI] STS with victim's leaked key:    {:?}", kci::sts_kci(&mut d));
+    }
+}

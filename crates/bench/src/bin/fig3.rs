@@ -1,0 +1,44 @@
+//! Regenerates the paper's Fig. 3: time duration of the individual STS
+//! operations (Op1–Op4) on the STM32F767.
+
+use ecq_bench::bar;
+use ecq_devices::timing::sts_operation_times;
+use ecq_devices::DevicePreset;
+
+fn main() {
+    println!("Fig. 3 — duration of individual STS operation runs (STM32F767)\n");
+    let device = DevicePreset::Stm32F767.profile();
+    let ops = sts_operation_times(&device);
+    let labels = [
+        "Op1  request / XG derivation",
+        "Op2  pubkey + premaster keys",
+        "Op3  auth sign + encryption",
+        "Op4  auth decrypt + verify",
+    ];
+    let max = ops.iter().cloned().fold(0.0, f64::max);
+    for (label, value) in labels.iter().zip(ops.iter()) {
+        println!("{label:<32} {value:>9.2} ms  {}", bar(*value, max, 40));
+    }
+    println!(
+        "\nper-side sum: {:.2} ms (×2 = {:.2} ms, Table I STS row: 3162.07 ms)",
+        ops.iter().sum::<f64>(),
+        2.0 * ops.iter().sum::<f64>()
+    );
+
+    println!("\nSame decomposition on all boards (ms):");
+    println!(
+        "{:<14}{:>12}{:>12}{:>12}{:>12}",
+        "Device", "Op1", "Op2", "Op3", "Op4"
+    );
+    for preset in DevicePreset::ALL {
+        let ops = sts_operation_times(&preset.profile());
+        println!(
+            "{:<14}{:>12.2}{:>12.2}{:>12.2}{:>12.2}",
+            preset.profile().name,
+            ops[0],
+            ops[1],
+            ops[2],
+            ops[3]
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates the paper's Fig. 4: comparison of the total KD protocol
+//! processing times on the STM32F767 (graphical form of Table I's
+//! STM32F767 column).
+
+use ecq_bench::{bar, simulate_table1_cell};
+use ecq_devices::DevicePreset;
+use ecq_proto::ProtocolKind;
+
+fn main() {
+    println!("Fig. 4 — total KD protocol processing time, STM32F767\n");
+    let device = DevicePreset::Stm32F767.profile();
+    let rows: Vec<(ProtocolKind, f64)> = ProtocolKind::ALL
+        .iter()
+        .map(|k| (*k, simulate_table1_cell(*k, &device, 10)))
+        .collect();
+    let max = rows.iter().map(|(_, v)| *v).fold(0.0, f64::max);
+    for (kind, value) in &rows {
+        println!(
+            "{:<16} {:>9.2} ms  {}",
+            kind.label(),
+            value,
+            bar(*value, max, 46)
+        );
+    }
+    let sts = rows.iter().find(|(k, _)| *k == ProtocolKind::Sts).unwrap().1;
+    let se = rows
+        .iter()
+        .find(|(k, _)| *k == ProtocolKind::SEcdsa)
+        .unwrap()
+        .1;
+    let opt2 = rows
+        .iter()
+        .find(|(k, _)| *k == ProtocolKind::StsOptII)
+        .unwrap()
+        .1;
+    println!("\nObservations reproduced from the paper:");
+    println!(" • STS is the slowest full variant (+{:.1} % over S-ECDSA)", (sts / se - 1.0) * 100.0);
+    println!(" • STS opt. II beats S-ECDSA ({:.2} vs {:.2} ms)", opt2, se);
+    println!(" • the non-EC-authentication baselines (SCIANC, PORAMB) are fastest");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's Fig. 8: the block-diagram threat model for
+//! the STS-ECQV key derivation (text and Graphviz DOT).
+
+use ecq_analysis::diagram;
+
+fn main() {
+    print!("{}", diagram::render_text());
+    println!("\nGraphviz DOT (pipe into `dot -Tsvg`):\n");
+    print!("{}", diagram::render_dot());
+}

@@ -1,0 +1,57 @@
+//! Regenerates the paper's Table I: execution time (ms) of the KD
+//! protocols for ECQV on the four embedded boards, paper vs simulated.
+
+use ecq_bench::simulate_table1_cell;
+use ecq_devices::DevicePreset;
+use ecq_proto::ProtocolKind;
+
+fn main() {
+    const RUNS: usize = 10; // the paper averages ten runs
+
+    println!("Table I — execution time in ms of the KD protocols for ECQV");
+    println!("(simulated via the fitted device cost model; paper value in parentheses)\n");
+
+    print!("{:<16}", "Protocol");
+    for preset in DevicePreset::ALL {
+        print!("{:>26}", preset.profile().name);
+    }
+    println!();
+    println!("{}", "-".repeat(16 + 26 * 4));
+
+    for kind in ProtocolKind::ALL {
+        print!("{:<16}", kind.label());
+        for preset in DevicePreset::ALL {
+            let device = preset.profile();
+            let sim = simulate_table1_cell(kind, &device, RUNS);
+            let paper = preset.paper_table1(kind);
+            print!("{:>14.2} ({:>9.2})", sim, paper);
+        }
+        println!();
+    }
+
+    println!("\nRelative error vs paper (%):");
+    print!("{:<16}", "Protocol");
+    for preset in DevicePreset::ALL {
+        print!("{:>14}", preset.profile().name);
+    }
+    println!();
+    for kind in ProtocolKind::ALL {
+        print!("{:<16}", kind.label());
+        for preset in DevicePreset::ALL {
+            let device = preset.profile();
+            let sim = simulate_table1_cell(kind, &device, RUNS);
+            let paper = preset.paper_table1(kind);
+            print!("{:>+14.2}", (sim - paper) / paper * 100.0);
+        }
+        println!();
+    }
+
+    let stm = DevicePreset::Stm32F767.profile();
+    let sts = simulate_table1_cell(ProtocolKind::Sts, &stm, RUNS);
+    let se = simulate_table1_cell(ProtocolKind::SEcdsa, &stm, RUNS);
+    println!(
+        "\nHeadline (STM32F767): STS / S-ECDSA = {:.3} (paper: {:.3})",
+        sts / se,
+        3162.07 / 2521.77
+    );
+}

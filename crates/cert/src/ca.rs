@@ -1,0 +1,217 @@
+//! The certificate authority (the "Central Authority" of the paper's
+//! Fig. 1, played by the Raspberry-Pi gateway in the prototype).
+
+use crate::certificate::ImplicitCert;
+use crate::id::DeviceId;
+use crate::requester::CertRequest;
+use crate::{cert_hash, CertError};
+use ecq_crypto::HmacDrbg;
+use ecq_p256::keys::KeyPair;
+use ecq_p256::point::{mul_generator, AffinePoint};
+use ecq_p256::scalar::Scalar;
+
+/// The CA's response to a certificate request: the implicit certificate
+/// plus the private-key reconstruction data `r`.
+#[derive(Clone, Copy, Debug)]
+pub struct IssuedCert {
+    /// The implicit certificate (public; 101 bytes on the wire).
+    pub certificate: ImplicitCert,
+    /// Private-key reconstruction data `r = e·k + d_CA mod n`
+    /// (confidential to the subject; sent over the provisioning
+    /// channel of deployment phase 1).
+    pub recon_private: Scalar,
+}
+
+/// An ECQV certificate authority.
+#[derive(Clone, Debug)]
+pub struct CertificateAuthority {
+    id: DeviceId,
+    keys: KeyPair,
+    next_serial: u64,
+}
+
+impl CertificateAuthority {
+    /// Creates a CA with a fresh key pair.
+    pub fn new(id: DeviceId, rng: &mut HmacDrbg) -> Self {
+        CertificateAuthority {
+            id,
+            keys: KeyPair::generate(rng),
+            next_serial: 1,
+        }
+    }
+
+    /// Creates a CA from an existing key pair (for reproducible tests).
+    pub fn with_keys(id: DeviceId, keys: KeyPair) -> Self {
+        CertificateAuthority {
+            id,
+            keys,
+            next_serial: 1,
+        }
+    }
+
+    /// The CA identity.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The CA public key `Q_CA` every device must be provisioned with.
+    pub fn public_key(&self) -> AffinePoint {
+        self.keys.public
+    }
+
+    /// Issues an implicit certificate for `request` (SEC4 §2.4 "Cert
+    /// Generate"):
+    ///
+    /// 1. sample `k ∈ [1, n−1]`,
+    /// 2. `P_U = R_U + k·G` — the public reconstruction point,
+    /// 3. build `Cert_U` embedding `P_U`,
+    /// 4. `e = H_n(Cert_U)`,
+    /// 5. `r = e·k + d_CA mod n` — private reconstruction data.
+    ///
+    /// This non-mutating variant draws a random 64-bit serial (unique
+    /// with overwhelming probability), so serial-based revocation
+    /// distinguishes certificates even without the stateful counter of
+    /// [`Self::issue_next`].
+    ///
+    /// # Errors
+    ///
+    /// [`CertError::InvalidRequest`] when the request point is off-curve
+    /// or the identity, or when the blinded point degenerates.
+    pub fn issue(
+        &self,
+        request: &CertRequest,
+        valid_from: u32,
+        valid_to: u32,
+        rng: &mut HmacDrbg,
+    ) -> Result<IssuedCert, CertError> {
+        let serial = rng.next_u64();
+        self.issue_with_serial(request, serial, valid_from, valid_to, rng)
+    }
+
+    /// Issues with an explicit serial (the mutable-counter variant is a
+    /// convenience; gateways track serials themselves).
+    pub fn issue_with_serial(
+        &self,
+        request: &CertRequest,
+        serial: u64,
+        valid_from: u32,
+        valid_to: u32,
+        rng: &mut HmacDrbg,
+    ) -> Result<IssuedCert, CertError> {
+        if request.point.infinity || !request.point.is_on_curve() {
+            return Err(CertError::InvalidRequest);
+        }
+        loop {
+            let k = Scalar::random(rng);
+            let p_u = request.point.add(&mul_generator(&k));
+            if p_u.infinity {
+                continue; // R_U = -kG; resample
+            }
+            let certificate = ImplicitCert::new(
+                serial,
+                self.id,
+                request.subject,
+                valid_from,
+                valid_to,
+                &p_u,
+            );
+            let e = cert_hash(&certificate);
+            if e.is_zero() {
+                continue;
+            }
+            let recon_private = e.mul(&k).add(&self.keys.private);
+            return Ok(IssuedCert {
+                certificate,
+                recon_private,
+            });
+        }
+    }
+
+    /// Issues a certificate and advances the internal serial counter.
+    pub fn issue_next(
+        &mut self,
+        request: &CertRequest,
+        valid_from: u32,
+        valid_to: u32,
+        rng: &mut HmacDrbg,
+    ) -> Result<IssuedCert, CertError> {
+        let serial = self.next_serial;
+        let issued = self.issue_with_serial(request, serial, valid_from, valid_to, rng)?;
+        self.next_serial += 1;
+        Ok(issued)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reconstruct_public_key;
+    use crate::requester::CertRequester;
+    use ecq_p256::field::FieldElement;
+
+    #[test]
+    fn issue_and_reconstruct() {
+        let mut rng = HmacDrbg::from_seed(61);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let requester = CertRequester::generate(DeviceId::from_label("dev1"), &mut rng);
+        let issued = ca.issue(&requester.request(), 0, 1000, &mut rng).unwrap();
+
+        let keys = requester.reconstruct(&issued, &ca.public_key()).unwrap();
+        assert!(keys.is_consistent());
+        assert_eq!(
+            reconstruct_public_key(&issued.certificate, &ca.public_key()).unwrap(),
+            keys.public
+        );
+    }
+
+    #[test]
+    fn serial_advances() {
+        let mut rng = HmacDrbg::from_seed(62);
+        let mut ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let r = CertRequester::generate(DeviceId::from_label("dev"), &mut rng);
+        let c1 = ca.issue_next(&r.request(), 0, 10, &mut rng).unwrap();
+        let c2 = ca.issue_next(&r.request(), 0, 10, &mut rng).unwrap();
+        assert_eq!(c1.certificate.serial + 1, c2.certificate.serial);
+        // Fresh CA randomness ⇒ different reconstruction points.
+        assert_ne!(c1.certificate.point, c2.certificate.point);
+    }
+
+    #[test]
+    fn rejects_invalid_request_point() {
+        let mut rng = HmacDrbg::from_seed(63);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let bad = CertRequest {
+            subject: DeviceId::from_label("evil"),
+            point: AffinePoint {
+                x: FieldElement::from_u64(1),
+                y: FieldElement::from_u64(2),
+                infinity: false,
+            },
+        };
+        assert_eq!(
+            ca.issue(&bad, 0, 10, &mut rng).unwrap_err(),
+            CertError::InvalidRequest
+        );
+        let infinity_req = CertRequest {
+            subject: DeviceId::from_label("evil"),
+            point: AffinePoint::identity(),
+        };
+        assert_eq!(
+            ca.issue(&infinity_req, 0, 10, &mut rng).unwrap_err(),
+            CertError::InvalidRequest
+        );
+    }
+
+    #[test]
+    fn different_cas_different_keys() {
+        let mut rng = HmacDrbg::from_seed(64);
+        let ca1 = CertificateAuthority::new(DeviceId::from_label("CA1"), &mut rng);
+        let ca2 = CertificateAuthority::new(DeviceId::from_label("CA2"), &mut rng);
+        let requester = CertRequester::generate(DeviceId::from_label("dev"), &mut rng);
+        let i1 = ca1.issue(&requester.request(), 0, 10, &mut rng).unwrap();
+        // Reconstructing against the wrong CA public key gives a key
+        // pair that fails the consistency check.
+        let wrong = requester.reconstruct(&i1, &ca2.public_key());
+        assert_eq!(wrong.unwrap_err(), CertError::ReconstructionMismatch);
+    }
+}

@@ -1,0 +1,108 @@
+//! Device identifiers.
+//!
+//! The paper's Table II accounts IDs at 16 bytes; every protocol message
+//! that names a party carries a [`DeviceId`].
+
+/// Length of a device identifier in bytes (per the paper's overhead
+/// accounting).
+pub const ID_LEN: usize = 16;
+
+/// A 16-byte device identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DeviceId([u8; ID_LEN]);
+
+impl core::fmt::Debug for DeviceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "DeviceId({self})")
+    }
+}
+
+impl core::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Render printable label prefixes directly, else hex.
+        let trimmed: Vec<u8> = self
+            .0
+            .iter()
+            .copied()
+            .take_while(|&b| b != 0)
+            .collect();
+        if !trimmed.is_empty() && trimmed.iter().all(|b| b.is_ascii_graphic()) {
+            write!(f, "{}", String::from_utf8_lossy(&trimmed))
+        } else {
+            for b in &self.0 {
+                write!(f, "{b:02x}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl DeviceId {
+    /// Constructs from raw bytes.
+    pub const fn from_bytes(bytes: [u8; ID_LEN]) -> Self {
+        DeviceId(bytes)
+    }
+
+    /// Constructs from an ASCII label, zero-padded or truncated to
+    /// 16 bytes. Convenient for tests and examples
+    /// (`DeviceId::from_label("BMS")`).
+    pub fn from_label(label: &str) -> Self {
+        let mut bytes = [0u8; ID_LEN];
+        let src = label.as_bytes();
+        let n = src.len().min(ID_LEN);
+        bytes[..n].copy_from_slice(&src[..n]);
+        DeviceId(bytes)
+    }
+
+    /// Returns the raw bytes.
+    pub const fn as_bytes(&self) -> &[u8; ID_LEN] {
+        &self.0
+    }
+}
+
+impl From<[u8; ID_LEN]> for DeviceId {
+    fn from(bytes: [u8; ID_LEN]) -> Self {
+        DeviceId(bytes)
+    }
+}
+
+impl AsRef<[u8]> for DeviceId {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrip() {
+        let id = DeviceId::from_label("alice");
+        assert_eq!(&id.as_bytes()[..5], b"alice");
+        assert_eq!(id.as_bytes()[5], 0);
+        assert_eq!(id.to_string(), "alice");
+    }
+
+    #[test]
+    fn long_label_truncates() {
+        let id = DeviceId::from_label("a-very-long-device-name-here");
+        assert_eq!(id.as_bytes(), b"a-very-long-devi");
+    }
+
+    #[test]
+    fn binary_id_displays_hex() {
+        let id = DeviceId::from_bytes([0xde, 0xad, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert!(id.to_string().starts_with("dead"));
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = DeviceId::from_label("a");
+        let b = DeviceId::from_label("b");
+        assert!(a < b);
+        let set: HashSet<DeviceId> = [a, b, a].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! SEC4 ECQV implicit certificates.
+//!
+//! Implements the Elliptic Curve Qu–Vanstone implicit certificate
+//! scheme (Certicom SEC4) that the paper's whole architecture rests on:
+//!
+//! 1. a device generates a request point `R_U = k_U·G`
+//!    ([`requester::CertRequester`]);
+//! 2. the CA blinds it (`P_U = R_U + k·G`), embeds `P_U` in a compact
+//!    101-byte certificate, and returns the private-key reconstruction
+//!    data `r = e·k + d_CA mod n` ([`ca::CertificateAuthority`]);
+//! 3. the device reconstructs its key pair
+//!    (`d_U = e·k_U + r`, `Q_U = e·P_U + Q_CA`);
+//! 4. any peer that knows the CA public key can *implicitly* derive
+//!    `Q_U = Hash(Cert_U)·Decode(Cert_U) + Q_CA` — the paper's eq. (1)
+//!    ([`reconstruct_public_key`]).
+//!
+//! There is no signature on the certificate: authenticity is implied by
+//! the fact that only the legitimate subject can know the private key
+//! matching the derived public key — which is exactly why the session
+//! protocols must prove possession (Algorithms 1–2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use ecq_cert::{ca::CertificateAuthority, requester::CertRequester, DeviceId};
+//! use ecq_cert::reconstruct_public_key;
+//! use ecq_crypto::HmacDrbg;
+//! use ecq_p256::point::mul_generator;
+//!
+//! let mut rng = HmacDrbg::from_seed(7);
+//! let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+//!
+//! let req = CertRequester::generate(DeviceId::from_label("alice"), &mut rng);
+//! let issued = ca.issue(&req.request(), 0, 3600, &mut rng).unwrap();
+//! let keys = req.reconstruct(&issued, &ca.public_key()).unwrap();
+//!
+//! // Implicit derivation by a third party matches the subject's view.
+//! let derived = reconstruct_public_key(&issued.certificate, &ca.public_key()).unwrap();
+//! assert_eq!(derived, keys.public);
+//! assert_eq!(mul_generator(&keys.private), keys.public);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ca;
+pub mod certificate;
+pub mod id;
+pub mod requester;
+pub mod revocation;
+
+pub use certificate::{ImplicitCert, CERT_LEN};
+pub use revocation::RevocationList;
+pub use id::DeviceId;
+
+use ecq_p256::point::AffinePoint;
+use ecq_p256::scalar::Scalar;
+use ecq_p256::CurveError;
+
+/// Errors arising in certificate issuance and reconstruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertError {
+    /// A certificate encoding was malformed.
+    InvalidEncoding,
+    /// The embedded reconstruction point was invalid.
+    InvalidPoint,
+    /// Key reconstruction produced an inconsistent key pair.
+    ReconstructionMismatch,
+    /// The certificate is outside its validity window.
+    Expired,
+    /// The request point was invalid.
+    InvalidRequest,
+}
+
+impl core::fmt::Display for CertError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CertError::InvalidEncoding => write!(f, "malformed certificate encoding"),
+            CertError::InvalidPoint => write!(f, "invalid reconstruction point"),
+            CertError::ReconstructionMismatch => {
+                write!(f, "reconstructed key pair is inconsistent")
+            }
+            CertError::Expired => write!(f, "certificate outside validity window"),
+            CertError::InvalidRequest => write!(f, "invalid certificate request"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+impl From<CurveError> for CertError {
+    fn from(_: CurveError) -> Self {
+        CertError::InvalidPoint
+    }
+}
+
+/// Computes the certificate hash `e = H_n(Cert_U)` used by both the CA
+/// and every reconstructing party.
+pub fn cert_hash(cert: &ImplicitCert) -> Scalar {
+    Scalar::from_be_bytes_reduced(&ecq_crypto::sha256::sha256(&cert.to_bytes()))
+}
+
+/// The paper's eq. (1): `Q_X = Hash(Cert_X) · Decode(Cert_X) + Q_CA`.
+///
+/// Derives the subject's public key from its implicit certificate and
+/// the CA public key. This is the operation the device cost model bills
+/// as a "public-key reconstruction" (part of STS Op2).
+///
+/// # Errors
+///
+/// [`CertError::InvalidPoint`] when the certificate's embedded point or
+/// the resulting public key is invalid (e.g. the point at infinity).
+pub fn reconstruct_public_key(
+    cert: &ImplicitCert,
+    ca_public: &AffinePoint,
+) -> Result<AffinePoint, CertError> {
+    let e = cert_hash(cert);
+    let p_u = cert.reconstruction_point()?;
+    let q = p_u.mul(&e).add(ca_public);
+    if q.infinity || !q.is_on_curve() {
+        return Err(CertError::InvalidPoint);
+    }
+    Ok(q)
+}

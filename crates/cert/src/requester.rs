@@ -1,0 +1,155 @@
+//! The certificate requester (device side of SEC4).
+
+use crate::ca::IssuedCert;
+use crate::id::DeviceId;
+use crate::{cert_hash, reconstruct_public_key, CertError};
+use ecq_crypto::HmacDrbg;
+use ecq_p256::keys::KeyPair;
+use ecq_p256::point::{mul_generator, AffinePoint};
+use ecq_p256::scalar::Scalar;
+
+/// The public part of a certificate request: `(U, R_U)`.
+#[derive(Clone, Copy, Debug)]
+pub struct CertRequest {
+    /// The requesting device's identity.
+    pub subject: DeviceId,
+    /// The request point `R_U = k_U · G`.
+    pub point: AffinePoint,
+}
+
+/// Device-side state across the request/issue round trip. Holds the
+/// secret `k_U` needed to reconstruct the private key after issuance.
+#[derive(Clone, Debug)]
+pub struct CertRequester {
+    subject: DeviceId,
+    k_u: Scalar,
+    r_u: AffinePoint,
+}
+
+impl CertRequester {
+    /// Generates a fresh request secret `k_U` and point `R_U`.
+    pub fn generate(subject: DeviceId, rng: &mut HmacDrbg) -> Self {
+        let k_u = Scalar::random(rng);
+        CertRequester {
+            subject,
+            k_u,
+            r_u: mul_generator(&k_u),
+        }
+    }
+
+    /// The public request to send to the CA.
+    pub fn request(&self) -> CertRequest {
+        CertRequest {
+            subject: self.subject,
+            point: self.r_u,
+        }
+    }
+
+    /// Reconstructs the certified key pair from the CA's response
+    /// (SEC4 §2.5 "Cert PK Extraction" + "Cert Reception"):
+    ///
+    /// * `e = H_n(Cert_U)`
+    /// * `d_U = e·k_U + r mod n`
+    /// * `Q_U = e·P_U + Q_CA`
+    ///
+    /// and validates `Q_U == d_U·G` before accepting.
+    ///
+    /// # Errors
+    ///
+    /// * [`CertError::InvalidEncoding`] when the certificate names a
+    ///   different subject;
+    /// * [`CertError::InvalidPoint`] when the embedded point is bad;
+    /// * [`CertError::ReconstructionMismatch`] when the possession check
+    ///   fails (wrong CA key, corrupted `r`, tampered certificate).
+    pub fn reconstruct(
+        &self,
+        issued: &IssuedCert,
+        ca_public: &AffinePoint,
+    ) -> Result<KeyPair, CertError> {
+        if issued.certificate.subject != self.subject {
+            return Err(CertError::InvalidEncoding);
+        }
+        let e = cert_hash(&issued.certificate);
+        let d_u = e.mul(&self.k_u).add(&issued.recon_private);
+        if d_u.is_zero() {
+            return Err(CertError::ReconstructionMismatch);
+        }
+        let q_u = reconstruct_public_key(&issued.certificate, ca_public)?;
+        if mul_generator(&d_u) != q_u {
+            return Err(CertError::ReconstructionMismatch);
+        }
+        Ok(KeyPair {
+            private: d_u,
+            public: q_u,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::CertificateAuthority;
+
+    #[test]
+    fn full_flow_possession_check_passes() {
+        let mut rng = HmacDrbg::from_seed(71);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let req = CertRequester::generate(DeviceId::from_label("node"), &mut rng);
+        let issued = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        let kp = req.reconstruct(&issued, &ca.public_key()).unwrap();
+        assert!(kp.is_consistent());
+    }
+
+    #[test]
+    fn tampered_certificate_fails_reconstruction() {
+        let mut rng = HmacDrbg::from_seed(72);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let req = CertRequester::generate(DeviceId::from_label("node"), &mut rng);
+        let mut issued = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        issued.certificate.extensions[0] ^= 1; // any bit flip
+        assert_eq!(
+            req.reconstruct(&issued, &ca.public_key()).unwrap_err(),
+            CertError::ReconstructionMismatch
+        );
+    }
+
+    #[test]
+    fn tampered_recon_data_fails() {
+        let mut rng = HmacDrbg::from_seed(73);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let req = CertRequester::generate(DeviceId::from_label("node"), &mut rng);
+        let mut issued = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        issued.recon_private = issued.recon_private.add(&Scalar::one());
+        assert_eq!(
+            req.reconstruct(&issued, &ca.public_key()).unwrap_err(),
+            CertError::ReconstructionMismatch
+        );
+    }
+
+    #[test]
+    fn subject_mismatch_rejected() {
+        let mut rng = HmacDrbg::from_seed(74);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let alice = CertRequester::generate(DeviceId::from_label("alice"), &mut rng);
+        let bob = CertRequester::generate(DeviceId::from_label("bob"), &mut rng);
+        let issued = ca.issue(&alice.request(), 0, 100, &mut rng).unwrap();
+        assert_eq!(
+            bob.reconstruct(&issued, &ca.public_key()).unwrap_err(),
+            CertError::InvalidEncoding
+        );
+    }
+
+    #[test]
+    fn distinct_requests_distinct_keys() {
+        let mut rng = HmacDrbg::from_seed(75);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let req = CertRequester::generate(DeviceId::from_label("node"), &mut rng);
+        let i1 = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        let i2 = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        let k1 = req.reconstruct(&i1, &ca.public_key()).unwrap();
+        let k2 = req.reconstruct(&i2, &ca.public_key()).unwrap();
+        // Same request secret, but fresh CA blinding ⇒ different keys.
+        assert_ne!(k1.private, k2.private);
+        assert_ne!(k1.public, k2.public);
+    }
+}

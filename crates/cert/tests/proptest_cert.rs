@@ -1,0 +1,94 @@
+//! Property-based tests of the ECQV certificate layer: encoding
+//! roundtrips over arbitrary metadata, tamper detection, and the
+//! reconstruction identity over random deployments.
+
+use ecq_cert::ca::CertificateAuthority;
+use ecq_cert::requester::CertRequester;
+use ecq_cert::{cert_hash, reconstruct_public_key, DeviceId, ImplicitCert};
+use ecq_crypto::HmacDrbg;
+use ecq_p256::point::mul_generator;
+use ecq_p256::scalar::Scalar;
+use proptest::prelude::*;
+
+fn arb_cert() -> impl Strategy<Value = ImplicitCert> {
+    (
+        any::<u64>(),
+        any::<[u8; 16]>(),
+        any::<[u8; 16]>(),
+        any::<u32>(),
+        any::<u32>(),
+        1u64..1_000_000,
+    )
+        .prop_map(|(serial, issuer, subject, from, to, k)| {
+            ImplicitCert::new(
+                serial,
+                DeviceId::from_bytes(issuer),
+                DeviceId::from_bytes(subject),
+                from.min(to),
+                from.max(to),
+                &mul_generator(&Scalar::from_u64(k)),
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn encoding_roundtrips(cert in arb_cert()) {
+        let bytes = cert.to_bytes();
+        prop_assert_eq!(bytes.len(), 101);
+        prop_assert_eq!(ImplicitCert::from_bytes(&bytes).unwrap(), cert);
+    }
+
+    #[test]
+    fn any_byte_flip_changes_the_hash(cert in arb_cert(), pos in 3usize..101, bit in 0u8..8) {
+        // Positions 0..3 (magic+version) are rejected at parse time;
+        // any other flip must change e = H_n(Cert) and therefore the
+        // implicitly derived key.
+        let mut bytes = cert.to_bytes();
+        bytes[pos] ^= 1 << bit;
+        match ImplicitCert::from_bytes(&bytes) {
+            Ok(tampered) => prop_assert_ne!(cert_hash(&tampered), cert_hash(&cert)),
+            Err(_) => {} // structural rejection is also fine (e.g. curve id byte)
+        }
+    }
+
+    #[test]
+    fn full_deployment_reconstruction_identity(seed in any::<u64>()) {
+        let mut rng = HmacDrbg::from_seed(seed);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let req = CertRequester::generate(DeviceId::from_label("dev"), &mut rng);
+        let issued = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        let keys = req.reconstruct(&issued, &ca.public_key()).unwrap();
+        // Q_U == d_U·G and eq. (1) agrees with the subject's view.
+        prop_assert!(keys.is_consistent());
+        prop_assert_eq!(
+            reconstruct_public_key(&issued.certificate, &ca.public_key()).unwrap(),
+            keys.public
+        );
+    }
+
+    #[test]
+    fn issued_keys_are_unlinkable_to_request(seed in any::<u64>()) {
+        // Two certificates from the same request secret have unrelated
+        // reconstruction points (CA blinding).
+        let mut rng = HmacDrbg::from_seed(seed);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let req = CertRequester::generate(DeviceId::from_label("dev"), &mut rng);
+        let i1 = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        let i2 = ca.issue(&req.request(), 0, 100, &mut rng).unwrap();
+        prop_assert_ne!(i1.certificate.point, i2.certificate.point);
+        let k1 = req.reconstruct(&i1, &ca.public_key()).unwrap();
+        let k2 = req.reconstruct(&i2, &ca.public_key()).unwrap();
+        prop_assert_ne!(k1.private, k2.private);
+    }
+
+    #[test]
+    fn validity_window_boundaries(cert in arb_cert(), t in any::<u32>()) {
+        prop_assert_eq!(
+            cert.is_valid_at(t),
+            cert.valid_from <= t && t <= cert.valid_to
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The §IV-C execution-schedule optimizations.
+//!
+//! The optimizations do not change the transmitted data ("the sent data
+//! is identical to the original protocol, but the message and content
+//! order vary slightly") — they overlap computation across the two
+//! devices:
+//!
+//! * **Opt. I** (eq. (7)): the initial request already carries the
+//!   certificate and `XG`, so the two devices run Op2 concurrently —
+//!   the pair pays for Op2 once:
+//!   `τ' = 2·T_Op1 + T_Op2 + 2·T_Op3 + 2·T_Op4`.
+//! * **Opt. II** (eq. (8)): Op3 is additionally pipelined behind Op2:
+//!   `τ'' = 2·T_Op1 + T_Op2 + T_Op3 + 2·T_Op4`.
+//!
+//! The trade-off (paper §IV-C): failed authentication is only detected
+//! after the heavy computations have run, which widens the surface for
+//! denial-of-service by unauthenticated peers — [`StsVariant::dos_note`]
+//! captures this.
+//!
+//! For heterogeneous device pairs the paper's eq. (6) applies: the
+//! pipelined operation costs `|T_OpAx − T_OpBx|` extra rather than
+//! vanishing. The schedule arithmetic lives in `ecq-devices::timing`;
+//! this type only names which operations overlap.
+
+use ecq_proto::StsPhase;
+
+/// STS execution-schedule variants (Table I rows STS / opt. I / opt. II).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum StsVariant {
+    /// The conventional sequential schedule (eq. (5)).
+    #[default]
+    Conventional,
+    /// Optimization I: Op2 pipelined across devices (eq. (7)).
+    OptimizationI,
+    /// Optimization II: Op2 and Op3 pipelined (eq. (8)).
+    OptimizationII,
+}
+
+impl StsVariant {
+    /// The STS operations this variant overlaps across the device pair.
+    /// For identical devices each overlapped phase is paid once instead
+    /// of twice; for different devices eq. (6) applies.
+    pub fn pipelined_phases(&self) -> &'static [StsPhase] {
+        match self {
+            StsVariant::Conventional => &[],
+            StsVariant::OptimizationI => &[StsPhase::Op2KeyDerivation],
+            StsVariant::OptimizationII => {
+                &[StsPhase::Op2KeyDerivation, StsPhase::Op3SignEncrypt]
+            }
+        }
+    }
+
+    /// The paper's label for this variant.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StsVariant::Conventional => "STS",
+            StsVariant::OptimizationI => "STS (opt. I)",
+            StsVariant::OptimizationII => "STS (opt. II)",
+        }
+    }
+
+    /// The flexibility cost the paper calls out: with pipelining,
+    /// authentication failures surface only after the expensive
+    /// operations already ran.
+    pub fn dos_note(&self) -> Option<&'static str> {
+        match self {
+            StsVariant::Conventional => None,
+            _ => Some(
+                "failed authentication requests are detected only after \
+                 the pipelined computations complete; unauthenticated \
+                 peers can force wasted work (denial-of-service surface)",
+            ),
+        }
+    }
+}
+
+impl core::fmt::Display for StsVariant {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipelining_sets() {
+        assert!(StsVariant::Conventional.pipelined_phases().is_empty());
+        assert_eq!(
+            StsVariant::OptimizationI.pipelined_phases(),
+            &[StsPhase::Op2KeyDerivation]
+        );
+        assert_eq!(StsVariant::OptimizationII.pipelined_phases().len(), 2);
+    }
+
+    #[test]
+    fn only_optimized_variants_carry_dos_note() {
+        assert!(StsVariant::Conventional.dos_note().is_none());
+        assert!(StsVariant::OptimizationI.dos_note().is_some());
+        assert!(StsVariant::OptimizationII.dos_note().is_some());
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(StsVariant::Conventional.label(), "STS");
+        assert_eq!(StsVariant::OptimizationI.label(), "STS (opt. I)");
+        assert_eq!(StsVariant::OptimizationII.label(), "STS (opt. II)");
+    }
+}

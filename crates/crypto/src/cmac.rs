@@ -1,0 +1,148 @@
+//! NIST SP 800-38B AES-CMAC (128-bit).
+//!
+//! The paper's evaluation setup uses 128-bit CMAC alongside AES-128;
+//! baseline protocols may authenticate with CMAC instead of HMAC where
+//! the referenced designs do so.
+
+use crate::aes::{Aes128, BLOCK_LEN, KEY_LEN};
+use crate::ct;
+
+/// Size of a full AES-CMAC tag in bytes.
+pub const TAG_LEN: usize = BLOCK_LEN;
+
+fn dbl(block: &[u8; BLOCK_LEN]) -> [u8; BLOCK_LEN] {
+    let mut out = [0u8; BLOCK_LEN];
+    let mut carry = 0u8;
+    for i in (0..BLOCK_LEN).rev() {
+        out[i] = (block[i] << 1) | carry;
+        carry = block[i] >> 7;
+    }
+    if carry != 0 {
+        out[BLOCK_LEN - 1] ^= 0x87; // the GF(2^128) reduction constant
+    }
+    out
+}
+
+/// Computes the AES-CMAC tag of `msg` under `key`.
+///
+/// ```
+/// let tag = ecq_crypto::cmac::aes128_cmac(&[0u8; 16], b"hello");
+/// assert_eq!(tag.len(), 16);
+/// ```
+pub fn aes128_cmac(key: &[u8; KEY_LEN], msg: &[u8]) -> [u8; TAG_LEN] {
+    let aes = Aes128::new(key);
+    let mut l = [0u8; BLOCK_LEN];
+    aes.encrypt_block(&mut l);
+    let k1 = dbl(&l);
+    let k2 = dbl(&k1);
+
+    let n_blocks = msg.len().div_ceil(BLOCK_LEN).max(1);
+    let complete = !msg.is_empty() && msg.len().is_multiple_of(BLOCK_LEN);
+
+    let mut x = [0u8; BLOCK_LEN];
+    for i in 0..n_blocks - 1 {
+        for j in 0..BLOCK_LEN {
+            x[j] ^= msg[i * BLOCK_LEN + j];
+        }
+        aes.encrypt_block(&mut x);
+    }
+
+    let mut last = [0u8; BLOCK_LEN];
+    let tail = &msg[(n_blocks - 1) * BLOCK_LEN..];
+    if complete {
+        last.copy_from_slice(tail);
+        for j in 0..BLOCK_LEN {
+            last[j] ^= k1[j];
+        }
+    } else {
+        last[..tail.len()].copy_from_slice(tail);
+        last[tail.len()] = 0x80;
+        for j in 0..BLOCK_LEN {
+            last[j] ^= k2[j];
+        }
+    }
+    for j in 0..BLOCK_LEN {
+        x[j] ^= last[j];
+    }
+    aes.encrypt_block(&mut x);
+    x
+}
+
+/// Verifies an AES-CMAC tag in constant time.
+pub fn verify_aes128_cmac(key: &[u8; KEY_LEN], msg: &[u8], tag: &[u8]) -> bool {
+    let expect = aes128_cmac(key, msg);
+    tag.len() == TAG_LEN && ct::eq(&expect, tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    const KEY: &str = "2b7e151628aed2a6abf7158809cf4f3c";
+
+    // RFC 4493 test vectors.
+    #[test]
+    fn rfc4493_empty() {
+        let key: [u8; 16] = hex_to_bytes(KEY).try_into().unwrap();
+        assert_eq!(
+            aes128_cmac(&key, b"").to_vec(),
+            hex_to_bytes("bb1d6929e95937287fa37d129b756746")
+        );
+    }
+
+    #[test]
+    fn rfc4493_16_bytes() {
+        let key: [u8; 16] = hex_to_bytes(KEY).try_into().unwrap();
+        let msg = hex_to_bytes("6bc1bee22e409f96e93d7e117393172a");
+        assert_eq!(
+            aes128_cmac(&key, &msg).to_vec(),
+            hex_to_bytes("070a16b46b4d4144f79bdd9dd04a287c")
+        );
+    }
+
+    #[test]
+    fn rfc4493_40_bytes() {
+        let key: [u8; 16] = hex_to_bytes(KEY).try_into().unwrap();
+        let msg = hex_to_bytes(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+        );
+        assert_eq!(
+            aes128_cmac(&key, &msg).to_vec(),
+            hex_to_bytes("dfa66747de9ae63030ca32611497c827")
+        );
+    }
+
+    #[test]
+    fn rfc4493_64_bytes() {
+        let key: [u8; 16] = hex_to_bytes(KEY).try_into().unwrap();
+        let msg = hex_to_bytes(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ));
+        assert_eq!(
+            aes128_cmac(&key, &msg).to_vec(),
+            hex_to_bytes("51f0bebf7e3b9d92fc49741779363cfe")
+        );
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let key = [1u8; 16];
+        let tag = aes128_cmac(&key, b"data");
+        assert!(verify_aes128_cmac(&key, b"data", &tag));
+        assert!(!verify_aes128_cmac(&key, b"Data", &tag));
+        let mut bad = tag;
+        bad[15] ^= 0x80;
+        assert!(!verify_aes128_cmac(&key, b"data", &bad));
+        assert!(!verify_aes128_cmac(&key, b"data", &tag[..8]));
+    }
+}

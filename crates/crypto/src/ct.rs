@@ -1,0 +1,62 @@
+//! Constant-time comparison helpers.
+//!
+//! Key and tag comparisons in the protocol code must not leak the
+//! position of the first differing byte through timing. These helpers
+//! fold the whole comparison into a single accumulated value before
+//! branching.
+
+/// Compares two byte slices in constant time with respect to content.
+///
+/// Returns `false` immediately when lengths differ (the length of a MAC
+/// tag or key is public information).
+pub fn eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Selects `a` when `choice` is true, `b` otherwise, without branching on
+/// the secret `choice` for the per-byte copy.
+pub fn select(choice: bool, a: &[u8], b: &[u8], out: &mut [u8]) {
+    assert_eq!(a.len(), b.len(), "select arms must have equal length");
+    assert_eq!(a.len(), out.len(), "output must match arm length");
+    let mask = (choice as u8).wrapping_neg(); // 0xFF or 0x00
+    for i in 0..out.len() {
+        out[i] = (a[i] & mask) | (b[i] & !mask);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(eq(b"", b""));
+        assert!(eq(b"abc", b"abc"));
+        assert!(!eq(b"abc", b"abd"));
+        assert!(!eq(b"abc", b"ab"));
+        assert!(!eq(b"\x00", b"\x01"));
+    }
+
+    #[test]
+    fn select_arms() {
+        let mut out = [0u8; 3];
+        select(true, b"aaa", b"bbb", &mut out);
+        assert_eq!(&out, b"aaa");
+        select(false, b"aaa", b"bbb", &mut out);
+        assert_eq!(&out, b"bbb");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn select_length_mismatch_panics() {
+        let mut out = [0u8; 2];
+        select(true, b"aa", b"b", &mut out);
+    }
+}

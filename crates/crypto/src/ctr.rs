@@ -1,0 +1,99 @@
+//! AES-128-CTR stream encryption.
+//!
+//! The STS authentication response (Algorithm 1 of the paper) sends the
+//! ECDSA signature *encrypted under the freshly derived session key*:
+//! `Resp = encrypt(KS, dsign)`. CTR mode keeps the 64-byte signature at
+//! exactly 64 bytes on the wire, matching the `Resp(64)` entry of the
+//! paper's Table II.
+
+use crate::aes::{Aes128, BLOCK_LEN, KEY_LEN};
+
+/// Nonce length for the CTR construction (96-bit nonce + 32-bit counter).
+pub const NONCE_LEN: usize = 12;
+
+/// Applies the AES-128-CTR keystream to `data` in place.
+///
+/// Encryption and decryption are the same operation. The 16-byte counter
+/// block is `nonce (12 bytes) || counter (4 bytes, big-endian)` starting
+/// at zero.
+///
+/// ```
+/// let key = [1u8; 16];
+/// let nonce = [2u8; 12];
+/// let mut data = *b"implicit certificates";
+/// ecq_crypto::ctr::aes128_ctr_apply(&key, &nonce, &mut data);
+/// assert_ne!(&data, b"implicit certificates");
+/// ecq_crypto::ctr::aes128_ctr_apply(&key, &nonce, &mut data);
+/// assert_eq!(&data, b"implicit certificates");
+/// ```
+pub fn aes128_ctr_apply(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+    let aes = Aes128::new(key);
+    let mut counter: u32 = 0;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let mut block = [0u8; BLOCK_LEN];
+        block[..NONCE_LEN].copy_from_slice(nonce);
+        block[NONCE_LEN..].copy_from_slice(&counter.to_be_bytes());
+        aes.encrypt_block(&mut block);
+        for (b, k) in chunk.iter_mut().zip(block.iter()) {
+            *b ^= k;
+        }
+        counter = counter
+            .checked_add(1)
+            .expect("CTR counter overflow: message too long");
+    }
+}
+
+/// Convenience wrapper returning a freshly encrypted copy of `data`.
+pub fn aes128_ctr_encrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    aes128_ctr_apply(key, nonce, &mut out);
+    out
+}
+
+/// Number of AES block operations needed to process `len` bytes of CTR
+/// data. Used by the device cost model.
+pub fn ctr_blocks(len: usize) -> usize {
+    len.div_ceil(BLOCK_LEN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keystream_differs_per_nonce() {
+        let key = [9u8; 16];
+        let a = aes128_ctr_encrypt(&key, &[0u8; 12], &[0u8; 32]);
+        let b = aes128_ctr_encrypt(&key, &[1u8; 12], &[0u8; 32]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn keystream_differs_per_block() {
+        let key = [9u8; 16];
+        let ks = aes128_ctr_encrypt(&key, &[0u8; 12], &[0u8; 32]);
+        assert_ne!(ks[..16], ks[16..]);
+    }
+
+    #[test]
+    fn roundtrip_odd_lengths() {
+        let key = [3u8; 16];
+        let nonce = [5u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 63, 64, 65, 101] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = aes128_ctr_encrypt(&key, &nonce, &data);
+            assert_eq!(ct.len(), len);
+            let pt = aes128_ctr_encrypt(&key, &nonce, &ct);
+            assert_eq!(pt, data, "len {len}");
+        }
+    }
+
+    #[test]
+    fn block_count() {
+        assert_eq!(ctr_blocks(0), 0);
+        assert_eq!(ctr_blocks(1), 1);
+        assert_eq!(ctr_blocks(16), 1);
+        assert_eq!(ctr_blocks(17), 2);
+        assert_eq!(ctr_blocks(64), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! RFC 5869 HKDF with SHA-256.
+//!
+//! This is the `KDF(KPM, salt)` of the paper's eq. (4): the premaster
+//! secret produced by the ephemeral Diffie–Hellman exchange is stretched
+//! into session key material.
+
+use crate::hmac::{hmac_sha256, HmacSha256, TAG_LEN};
+
+/// HKDF-Extract: `PRK = HMAC(salt, ikm)`.
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; TAG_LEN] {
+    hmac_sha256(salt, ikm)
+}
+
+/// HKDF-Expand: fills `okm` from `prk` and `info`.
+///
+/// # Panics
+///
+/// Panics if `okm.len() > 255 * 32` (the RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8], info: &[u8], okm: &mut [u8]) {
+    assert!(
+        okm.len() <= 255 * TAG_LEN,
+        "HKDF output length exceeds RFC 5869 limit"
+    );
+    let mut t: [u8; TAG_LEN] = [0; TAG_LEN];
+    let mut t_len = 0usize;
+    let mut counter = 1u8;
+    let mut written = 0usize;
+    while written < okm.len() {
+        let mut m = HmacSha256::new(prk);
+        m.update(&t[..t_len]);
+        m.update(info);
+        m.update(&[counter]);
+        t = m.finalize();
+        t_len = TAG_LEN;
+        let take = (okm.len() - written).min(TAG_LEN);
+        okm[written..written + take].copy_from_slice(&t[..take]);
+        written += take;
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// One-shot HKDF-SHA256 (extract then expand).
+///
+/// ```
+/// let mut key = [0u8; 16];
+/// ecq_crypto::hkdf::hkdf_sha256(b"salt", b"ikm", b"info", &mut key);
+/// ```
+pub fn hkdf_sha256(salt: &[u8], ikm: &[u8], info: &[u8], okm: &mut [u8]) {
+    let prk = hkdf_extract(salt, ikm);
+    hkdf_expand(&prk, info, okm);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 5869 test case 1.
+    #[test]
+    fn rfc5869_case1() {
+        let ikm = [0x0bu8; 22];
+        let salt: Vec<u8> = (0x00..=0x0c).collect();
+        let info: Vec<u8> = (0xf0..=0xf9).collect();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        hkdf_expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 test case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case3_empty_salt_info() {
+        let ikm = [0x0bu8; 22];
+        let mut okm = [0u8; 42];
+        hkdf_sha256(b"", &ikm, b"", &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn multi_block_expand() {
+        let mut okm = [0u8; 100];
+        hkdf_sha256(b"s", b"k", b"i", &mut okm);
+        // Each 32-byte block must differ (counter feedback).
+        assert_ne!(okm[..32], okm[32..64]);
+        assert_ne!(okm[32..64], okm[64..96]);
+    }
+
+    #[test]
+    #[should_panic(expected = "RFC 5869 limit")]
+    fn oversize_expand_panics() {
+        let mut okm = vec![0u8; 255 * 32 + 1];
+        hkdf_expand(&[0u8; 32], b"", &mut okm);
+    }
+}

@@ -1,0 +1,179 @@
+//! Hardware security modules and crypto accelerators — the paper's
+//! future work (§VI): "we plan to investigate the influence of
+//! security modules and hardware accelerators when considering the
+//! implicit certificate protocols on embedded devices, especially
+//! those related to session establishment."
+//!
+//! An [`Accelerator`] transforms a [`DeviceProfile`] by scaling the
+//! primitive classes it offloads. The presets are modeled on common
+//! automotive/IoT silicon:
+//!
+//! * [`Accelerator::SHE`] — an SHE-like module: AES in hardware,
+//!   everything else on the core (SHE has no public-key support);
+//! * [`Accelerator::HSM_FULL`] — an EVITA-full-class HSM with an ECC
+//!   coprocessor (point multiplications ~10× faster) plus hash/AES
+//!   engines;
+//! * [`Accelerator::INSTRUCTION_EXT`] — ARMv8-style crypto instruction
+//!   extensions: big symmetric gains, modest EC gains (field
+//!   multiplication still on the integer pipeline).
+//!
+//! The speedups are parameters, not measurements — the point of the
+//! model is *which protocol benefits most*: STS is EC-bound, so an ECC
+//! coprocessor closes almost the whole gap to the symmetric-only
+//! baselines, while an AES-only SHE barely moves any KD protocol.
+
+use crate::profile::{DeviceProfile, PrimitiveCosts};
+
+/// A crypto-offload model: divide each primitive class's cost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Accelerator {
+    /// Display name.
+    pub name: &'static str,
+    /// Speedup on EC operations (keygen, recon, ECDH, sign, verify).
+    pub ec_speedup: f64,
+    /// Speedup on AES block operations.
+    pub aes_speedup: f64,
+    /// Speedup on hash/MAC/KDF operations.
+    pub hash_speedup: f64,
+    /// Speedup on random-number generation (TRNG).
+    pub rng_speedup: f64,
+}
+
+impl Accelerator {
+    /// No acceleration (identity transform).
+    pub const NONE: Accelerator = Accelerator {
+        name: "software only",
+        ec_speedup: 1.0,
+        aes_speedup: 1.0,
+        hash_speedup: 1.0,
+        rng_speedup: 1.0,
+    };
+
+    /// SHE-like module: AES and TRNG in hardware, no public-key
+    /// support.
+    pub const SHE: Accelerator = Accelerator {
+        name: "SHE (AES+TRNG)",
+        ec_speedup: 1.0,
+        aes_speedup: 20.0,
+        hash_speedup: 1.0,
+        rng_speedup: 10.0,
+    };
+
+    /// EVITA-full-class HSM: ECC coprocessor + hash + AES engines.
+    pub const HSM_FULL: Accelerator = Accelerator {
+        name: "HSM full (ECC copro)",
+        ec_speedup: 10.0,
+        aes_speedup: 20.0,
+        hash_speedup: 8.0,
+        rng_speedup: 10.0,
+    };
+
+    /// CPU crypto instruction extensions.
+    pub const INSTRUCTION_EXT: Accelerator = Accelerator {
+        name: "crypto ISA ext.",
+        ec_speedup: 2.5,
+        aes_speedup: 12.0,
+        hash_speedup: 6.0,
+        rng_speedup: 1.0,
+    };
+
+    /// The preset lineup for the `hsm` bench binary.
+    pub const ALL: [Accelerator; 4] = [
+        Accelerator::NONE,
+        Accelerator::SHE,
+        Accelerator::INSTRUCTION_EXT,
+        Accelerator::HSM_FULL,
+    ];
+
+    /// Applies the acceleration to a device profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any speedup is not strictly positive.
+    pub fn apply(&self, base: &DeviceProfile) -> DeviceProfile {
+        assert!(
+            self.ec_speedup > 0.0
+                && self.aes_speedup > 0.0
+                && self.hash_speedup > 0.0
+                && self.rng_speedup > 0.0,
+            "speedups must be positive"
+        );
+        let c = &base.costs;
+        DeviceProfile {
+            name: base.name,
+            class: base.class,
+            costs: PrimitiveCosts {
+                keygen_ms: c.keygen_ms / self.ec_speedup,
+                recon_ms: c.recon_ms / self.ec_speedup,
+                ecdh_ms: c.ecdh_ms / self.ec_speedup,
+                sign_ms: c.sign_ms / self.ec_speedup,
+                verify_ms: c.verify_ms / self.ec_speedup,
+                aes_block_ms: c.aes_block_ms / self.aes_speedup,
+                mac_ms: c.mac_ms / self.hash_speedup,
+                kdf_ms: c.kdf_ms / self.hash_speedup,
+                rng32_ms: c.rng32_ms / self.rng_speedup,
+                hash_block_ms: c.hash_block_ms / self.hash_speedup,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::DevicePreset;
+    use crate::timing::sts_operation_times;
+
+    #[test]
+    fn none_is_identity() {
+        let base = DevicePreset::S32K144.profile();
+        assert_eq!(Accelerator::NONE.apply(&base).costs, base.costs);
+    }
+
+    #[test]
+    fn she_barely_helps_kd_protocols() {
+        // The KD handshake is EC-bound: AES offload alone must change
+        // the STS per-side total by well under 1 %.
+        let base = DevicePreset::Stm32F767.profile();
+        let she = Accelerator::SHE.apply(&base);
+        let t_base: f64 = sts_operation_times(&base).iter().sum();
+        let t_she: f64 = sts_operation_times(&she).iter().sum();
+        assert!(t_she < t_base);
+        assert!((t_base - t_she) / t_base < 0.01);
+    }
+
+    #[test]
+    fn hsm_closes_most_of_the_gap() {
+        let base = DevicePreset::Stm32F767.profile();
+        let hsm = Accelerator::HSM_FULL.apply(&base);
+        let t_base: f64 = sts_operation_times(&base).iter().sum();
+        let t_hsm: f64 = sts_operation_times(&hsm).iter().sum();
+        assert!(t_hsm < t_base / 8.0, "{t_hsm} vs {t_base}");
+    }
+
+    #[test]
+    fn ordering_of_accelerators() {
+        let base = DevicePreset::ATmega2560.profile();
+        let totals: Vec<f64> = Accelerator::ALL
+            .iter()
+            .map(|a| sts_operation_times(&a.apply(&base)).iter().sum())
+            .collect();
+        // NONE > SHE > ISA ext > HSM full for an EC-bound workload.
+        assert!(totals[0] > totals[1]);
+        assert!(totals[1] > totals[2]);
+        assert!(totals[2] > totals[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speedup_rejected() {
+        let bad = Accelerator {
+            name: "bad",
+            ec_speedup: 0.0,
+            aes_speedup: 1.0,
+            hash_speedup: 1.0,
+            rng_speedup: 1.0,
+        };
+        bad.apply(&DevicePreset::S32K144.profile());
+    }
+}

@@ -1,0 +1,46 @@
+//! Embedded-device cost models for the paper's four evaluation boards.
+//!
+//! We cannot clock an 8-bit ATmega2560 on the host, so timing is
+//! simulated: the protocols execute real cryptography and record a
+//! [`ecq_proto::OpTrace`]; this crate integrates those traces against
+//! per-board primitive cost tables.
+//!
+//! # Calibration (see DESIGN.md §5)
+//!
+//! The paper's Table I plus its optimization formulas (eqs. (5)–(8))
+//! over-determine the per-side operation times, so the cost tables are
+//! *inverted from the paper's own measurements*:
+//!
+//! ```text
+//! Op1 = (STS − S-ECDSA) / 2        Op2 = STS − Opt.I
+//! Op3 = Opt.I − Opt.II             Op4 = STS/2 − (Op1+Op2+Op3)
+//! ```
+//!
+//! With those anchors the S-ECDSA and STS-family rows reproduce the
+//! paper's Table I essentially exactly; SCIANC and PORAMB (whose costs
+//! follow from their own operation counts) land within ~2–10 % with
+//! ordering and ratios preserved. EXPERIMENTS.md records the deltas.
+//!
+//! # Example
+//!
+//! ```
+//! use ecq_devices::{DevicePreset, timing::sts_operation_times};
+//!
+//! let stm = DevicePreset::Stm32F767.profile();
+//! let ops = sts_operation_times(&stm);
+//! // Fig. 3: Op3 (sign + encrypt) dominates on the STM32F767.
+//! assert!(ops[2] > ops[0] && ops[2] > ops[1] && ops[2] > ops[3]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accelerator;
+pub mod presets;
+pub mod profile;
+pub mod timing;
+
+pub use accelerator::Accelerator;
+pub use presets::DevicePreset;
+pub use profile::{DeviceProfile, PrimitiveCosts};
+pub use timing::{integrate, pair_total, protocol_pair_time, PhaseTimes};

@@ -1,0 +1,95 @@
+//! Elliptic-curve Diffie–Hellman.
+//!
+//! Two uses in the paper:
+//!
+//! * **static** (§II-A): `Sk = Prk_a · Puk_b` over the long-term,
+//!   certificate-bound keys — this is the SKD every baseline uses;
+//! * **ephemeral** (eq. (3)): `KPM = X_A · XG_B` over per-session
+//!   random points — this is what gives STS its forward secrecy.
+//!
+//! The x-coordinate of the shared point is the secret.
+
+use crate::point::AffinePoint;
+use crate::scalar::Scalar;
+use crate::CurveError;
+
+/// Computes the ECDH shared secret (32-byte x-coordinate).
+///
+/// # Errors
+///
+/// * [`CurveError::InvalidPoint`] when the peer point is off-curve or
+///   the identity (invalid-point attacks must not silently succeed);
+/// * [`CurveError::InfinityResult`] when the product is the identity.
+pub fn shared_secret(private: &Scalar, peer_public: &AffinePoint) -> Result<[u8; 32], CurveError> {
+    if peer_public.infinity || !peer_public.is_on_curve() {
+        return Err(CurveError::InvalidPoint);
+    }
+    if private.is_zero() {
+        return Err(CurveError::InvalidScalar);
+    }
+    let shared = peer_public.mul(private);
+    if shared.infinity {
+        return Err(CurveError::InfinityResult);
+    }
+    Ok(shared.x.to_be_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::FieldElement;
+    use crate::keys::KeyPair;
+    use ecq_crypto::HmacDrbg;
+
+    #[test]
+    fn commutativity() {
+        let mut rng = HmacDrbg::from_seed(51);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        assert_eq!(
+            shared_secret(&a.private, &b.public).unwrap(),
+            shared_secret(&b.private, &a.public).unwrap()
+        );
+    }
+
+    #[test]
+    fn distinct_peers_distinct_secrets() {
+        let mut rng = HmacDrbg::from_seed(52);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        let c = KeyPair::generate(&mut rng);
+        assert_ne!(
+            shared_secret(&a.private, &b.public).unwrap(),
+            shared_secret(&a.private, &c.public).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_identity_and_off_curve() {
+        let mut rng = HmacDrbg::from_seed(53);
+        let a = KeyPair::generate(&mut rng);
+        assert_eq!(
+            shared_secret(&a.private, &AffinePoint::identity()),
+            Err(CurveError::InvalidPoint)
+        );
+        let off_curve = AffinePoint {
+            x: FieldElement::from_u64(1),
+            y: FieldElement::from_u64(1),
+            infinity: false,
+        };
+        assert_eq!(
+            shared_secret(&a.private, &off_curve),
+            Err(CurveError::InvalidPoint)
+        );
+    }
+
+    #[test]
+    fn rejects_zero_private() {
+        let mut rng = HmacDrbg::from_seed(54);
+        let a = KeyPair::generate(&mut rng);
+        assert_eq!(
+            shared_secret(&Scalar::zero(), &a.public),
+            Err(CurveError::InvalidScalar)
+        );
+    }
+}

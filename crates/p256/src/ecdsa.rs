@@ -1,0 +1,288 @@
+//! ECDSA over P-256 with SHA-256.
+//!
+//! This is the authentication primitive of both the paper's STS design
+//! (Algorithms 1 and 2) and the static S-ECDSA baseline. Signing is
+//! deterministic (RFC 6979) by default — reproducible simulation — with
+//! an optional randomized mode. Verification supports two strategies:
+//! two separate scalar multiplications (micro-ecc's behaviour, the
+//! default for the device cost model) and Shamir's trick (an ablation).
+
+use crate::point::{mul_generator, multi_scalar_mul, AffinePoint};
+use crate::rfc6979;
+use crate::scalar::Scalar;
+use crate::CurveError;
+use ecq_crypto::sha256::sha256;
+use ecq_crypto::HmacDrbg;
+
+/// A raw `r ‖ s` ECDSA signature (the paper's `Sign(64)` / `dsign`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Signature {
+    /// The `r` component.
+    pub r: Scalar,
+    /// The `s` component.
+    pub s: Scalar,
+}
+
+impl core::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.to_bytes();
+        write!(f, "Signature({:02x}{:02x}…{:02x}{:02x})", b[0], b[1], b[62], b[63])
+    }
+}
+
+impl Signature {
+    /// Serializes to 64 bytes (`r ‖ s`, big-endian).
+    pub fn to_bytes(self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.r.to_be_bytes());
+        out[32..].copy_from_slice(&self.s.to_be_bytes());
+        out
+    }
+
+    /// Parses a 64-byte `r ‖ s` signature.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::InvalidSignature`] when either component is zero
+    /// or out of range.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CurveError> {
+        if bytes.len() != 64 {
+            return Err(CurveError::InvalidSignature);
+        }
+        let mut rb = [0u8; 32];
+        let mut sb = [0u8; 32];
+        rb.copy_from_slice(&bytes[..32]);
+        sb.copy_from_slice(&bytes[32..]);
+        let r = Scalar::from_be_bytes(&rb).map_err(|_| CurveError::InvalidSignature)?;
+        let s = Scalar::from_be_bytes(&sb).map_err(|_| CurveError::InvalidSignature)?;
+        if r.is_zero() || s.is_zero() {
+            return Err(CurveError::InvalidSignature);
+        }
+        Ok(Signature { r, s })
+    }
+}
+
+/// Verification strategy for the `u1·G + u2·Q` computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum VerifyStrategy {
+    /// Two independent scalar multiplications, then one addition —
+    /// micro-ecc's approach and the cost-model default.
+    #[default]
+    SeparateMuls,
+    /// Shamir's trick: one interleaved double-and-add pass.
+    Shamir,
+}
+
+fn hash_to_scalar(msg: &[u8]) -> Scalar {
+    Scalar::from_be_bytes_reduced(&sha256(msg))
+}
+
+/// Signs `msg` (hashed internally with SHA-256) with deterministic
+/// RFC 6979 nonces. Produces a low-s normalized signature.
+pub fn sign(private: &Scalar, msg: &[u8]) -> Signature {
+    let h = sha256(msg);
+    sign_prehashed(private, &h)
+}
+
+/// Signs a precomputed 32-byte message hash.
+pub fn sign_prehashed(private: &Scalar, hash: &[u8; 32]) -> Signature {
+    let e = Scalar::from_be_bytes_reduced(hash);
+    let mut k = rfc6979::generate_k(private, hash);
+    loop {
+        if let Some(sig) = sign_with_k(private, &e, &k) {
+            return sig;
+        }
+        // Astronomically unlikely; perturb k deterministically.
+        k = k.add(&Scalar::one());
+    }
+}
+
+/// Signs with a randomized nonce drawn from `rng`.
+pub fn sign_randomized(private: &Scalar, msg: &[u8], rng: &mut HmacDrbg) -> Signature {
+    let e = hash_to_scalar(msg);
+    loop {
+        let k = Scalar::random(rng);
+        if let Some(sig) = sign_with_k(private, &e, &k) {
+            return sig;
+        }
+    }
+}
+
+fn sign_with_k(private: &Scalar, e: &Scalar, k: &Scalar) -> Option<Signature> {
+    let point = mul_generator(k);
+    if point.infinity {
+        return None;
+    }
+    let r = Scalar::from_reduced(&point.x.to_canonical());
+    if r.is_zero() {
+        return None;
+    }
+    let s = k.invert().mul(&e.add(&r.mul(private)));
+    if s.is_zero() {
+        return None;
+    }
+    // Low-s normalization (avoids signature malleability).
+    let s = if s.is_high() { s.neg() } else { s };
+    Some(Signature { r, s })
+}
+
+/// Verifies a signature on `msg` (hashed internally) under `public`.
+pub fn verify(public: &AffinePoint, msg: &[u8], sig: &Signature) -> bool {
+    verify_with(public, msg, sig, VerifyStrategy::default())
+}
+
+/// Verifies with an explicit [`VerifyStrategy`].
+pub fn verify_with(
+    public: &AffinePoint,
+    msg: &[u8],
+    sig: &Signature,
+    strategy: VerifyStrategy,
+) -> bool {
+    let h = sha256(msg);
+    verify_prehashed(public, &h, sig, strategy)
+}
+
+/// Verifies a signature over a precomputed 32-byte hash.
+pub fn verify_prehashed(
+    public: &AffinePoint,
+    hash: &[u8; 32],
+    sig: &Signature,
+    strategy: VerifyStrategy,
+) -> bool {
+    if public.infinity || !public.is_on_curve() || sig.r.is_zero() || sig.s.is_zero() {
+        return false;
+    }
+    let e = Scalar::from_be_bytes_reduced(hash);
+    let s_inv = sig.s.invert();
+    let u1 = e.mul(&s_inv);
+    let u2 = sig.r.mul(&s_inv);
+    let point = match strategy {
+        VerifyStrategy::SeparateMuls => mul_generator(&u1).add(&public.mul(&u2)),
+        VerifyStrategy::Shamir => {
+            multi_scalar_mul(&u1, &AffinePoint::generator(), &u2, public)
+        }
+    };
+    if point.infinity {
+        return false;
+    }
+    Scalar::from_reduced(&point.x.to_canonical()) == sig.r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::u256::U256;
+    use crate::field::FieldElement;
+
+    fn rfc6979_key() -> Scalar {
+        Scalar::from_canonical(&U256::from_be_hex(
+            "c9afa9d845ba75166b5c215767b1d6934e50c3db36e89b127b8a622b120f6721",
+        ))
+        .unwrap()
+    }
+
+    // RFC 6979 A.2.5: P-256, SHA-256, message "sample".
+    #[test]
+    fn rfc6979_sample_signature() {
+        let sig = sign(&rfc6979_key(), b"sample");
+        assert_eq!(
+            sig.r.to_canonical().to_string(),
+            "efd48b2aacb6a8fd1140dd9cd45e81d69d2c877b56aaf991c34d0ea84eaf3716"
+        );
+        // RFC 6979 reports a high-s signature; our signer normalizes to
+        // low-s, so the expected value is n − s_ref.
+        let s_ref = Scalar::from_canonical(&U256::from_be_hex(
+            "f7cb1c942d657c41d436c7a1b6e29f65f3e900dbb9aff4064dc4ab2f843acda8",
+        ))
+        .unwrap();
+        assert!(s_ref.is_high());
+        assert_eq!(sig.s, s_ref.neg());
+
+        // The signature must verify under the RFC 6979 public key.
+        let ux = FieldElement::from_canonical(&U256::from_be_hex(
+            "60fed4ba255a9d31c961eb74c6356d68c049b8923b61fa6ce669622e60f29fb6",
+        ))
+        .unwrap();
+        let uy = FieldElement::from_canonical(&U256::from_be_hex(
+            "7903fe1008b8bc99a41ae9e95628bc64f2f1b20c2d7e9f5177a3c294d4462299",
+        ))
+        .unwrap();
+        let public = AffinePoint::from_coords(ux, uy).expect("RFC key on curve");
+        assert_eq!(public, mul_generator(&rfc6979_key()));
+        assert!(verify(&public, b"sample", &sig));
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_both_strategies() {
+        let mut rng = HmacDrbg::from_seed(41);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = sign(&kp.private, b"session transcript");
+        assert!(verify_with(&kp.public, b"session transcript", &sig, VerifyStrategy::SeparateMuls));
+        assert!(verify_with(&kp.public, b"session transcript", &sig, VerifyStrategy::Shamir));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_message_or_key() {
+        let mut rng = HmacDrbg::from_seed(42);
+        let kp = KeyPair::generate(&mut rng);
+        let other = KeyPair::generate(&mut rng);
+        let sig = sign(&kp.private, b"msg");
+        assert!(!verify(&kp.public, b"msG", &sig));
+        assert!(!verify(&other.public, b"msg", &sig));
+    }
+
+    #[test]
+    fn verify_rejects_tampered_signature() {
+        let mut rng = HmacDrbg::from_seed(43);
+        let kp = KeyPair::generate(&mut rng);
+        let sig = sign(&kp.private, b"msg");
+        let bad_r = Signature {
+            r: sig.r.add(&Scalar::one()),
+            s: sig.s,
+        };
+        let bad_s = Signature {
+            r: sig.r,
+            s: sig.s.add(&Scalar::one()),
+        };
+        assert!(!verify(&kp.public, b"msg", &bad_r));
+        assert!(!verify(&kp.public, b"msg", &bad_s));
+    }
+
+    #[test]
+    fn signature_bytes_roundtrip() {
+        let sig = sign(&rfc6979_key(), b"abc");
+        let parsed = Signature::from_bytes(&sig.to_bytes()).unwrap();
+        assert_eq!(parsed, sig);
+        assert!(Signature::from_bytes(&[0u8; 64]).is_err()); // zero r/s
+        assert!(Signature::from_bytes(&[0u8; 63]).is_err());
+        assert!(Signature::from_bytes(&[0xffu8; 64]).is_err()); // out of range
+    }
+
+    #[test]
+    fn randomized_signatures_differ_but_verify() {
+        let mut rng = HmacDrbg::from_seed(44);
+        let kp = KeyPair::generate(&mut rng);
+        let s1 = sign_randomized(&kp.private, b"m", &mut rng);
+        let s2 = sign_randomized(&kp.private, b"m", &mut rng);
+        assert_ne!(s1.to_bytes(), s2.to_bytes());
+        assert!(verify(&kp.public, b"m", &s1));
+        assert!(verify(&kp.public, b"m", &s2));
+    }
+
+    #[test]
+    fn low_s_normalization() {
+        let mut rng = HmacDrbg::from_seed(45);
+        for _ in 0..4 {
+            let kp = KeyPair::generate(&mut rng);
+            let sig = sign_randomized(&kp.private, b"normalize", &mut rng);
+            assert!(!sig.s.is_high());
+        }
+    }
+
+    #[test]
+    fn verify_rejects_infinity_public_key() {
+        let sig = sign(&rfc6979_key(), b"x");
+        assert!(!verify(&AffinePoint::identity(), b"x", &sig));
+    }
+}

@@ -1,0 +1,222 @@
+//! Arithmetic in GF(p), the P-256 base field.
+//!
+//! `p = 2^256 − 2^224 + 2^192 + 2^96 − 1`. Elements are stored in
+//! Montgomery form; the shared [`MontCtx`] is built once per process.
+
+use crate::mont::MontCtx;
+use crate::u256::U256;
+use std::sync::OnceLock;
+
+/// The P-256 prime modulus, big-endian hex.
+pub const P_HEX: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
+
+/// The curve coefficient `b`, big-endian hex (`a = −3` is implicit in
+/// the point formulas).
+pub const B_HEX: &str = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
+
+fn ctx() -> &'static MontCtx {
+    static CTX: OnceLock<MontCtx> = OnceLock::new();
+    CTX.get_or_init(|| MontCtx::new(U256::from_be_hex(P_HEX)))
+}
+
+/// An element of GF(p) in Montgomery form.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct FieldElement(U256);
+
+impl core::fmt::Debug for FieldElement {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fe(0x{})", self.to_canonical())
+    }
+}
+
+impl FieldElement {
+    /// The additive identity.
+    pub fn zero() -> Self {
+        FieldElement(U256::ZERO)
+    }
+
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        FieldElement(ctx().r1)
+    }
+
+    /// The curve coefficient `b`.
+    pub fn curve_b() -> Self {
+        static B: OnceLock<FieldElement> = OnceLock::new();
+        *B.get_or_init(|| FieldElement::from_canonical(&U256::from_be_hex(B_HEX)).expect("b < p"))
+    }
+
+    /// Builds a field element from a canonical integer `< p`.
+    ///
+    /// Returns `None` when `v >= p`.
+    pub fn from_canonical(v: &U256) -> Option<Self> {
+        if *v >= ctx().m {
+            None
+        } else {
+            Some(FieldElement(ctx().to_mont(v)))
+        }
+    }
+
+    /// Builds a field element reducing an arbitrary 256-bit value mod p.
+    pub fn from_reduced(v: &U256) -> Self {
+        FieldElement(ctx().to_mont(&ctx().reduce(v)))
+    }
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        FieldElement(ctx().to_mont(&U256::from_u64(v)))
+    }
+
+    /// Returns the canonical (non-Montgomery) value.
+    pub fn to_canonical(self) -> U256 {
+        ctx().from_mont(&self.0)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.to_canonical().to_be_bytes()
+    }
+
+    /// Parses 32 big-endian bytes; `None` when the value is `>= p`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Option<Self> {
+        Self::from_canonical(&U256::from_be_bytes(bytes))
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Addition in GF(p).
+    pub fn add(&self, rhs: &Self) -> Self {
+        FieldElement(ctx().add(&self.0, &rhs.0))
+    }
+
+    /// Subtraction in GF(p).
+    pub fn sub(&self, rhs: &Self) -> Self {
+        FieldElement(ctx().sub(&self.0, &rhs.0))
+    }
+
+    /// Negation in GF(p).
+    pub fn neg(&self) -> Self {
+        FieldElement(ctx().neg(&self.0))
+    }
+
+    /// Multiplication in GF(p).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        FieldElement(ctx().mont_mul(&self.0, &rhs.0))
+    }
+
+    /// Squaring in GF(p).
+    pub fn square(&self) -> Self {
+        self.mul(self)
+    }
+
+    /// Doubling (`2·self`).
+    pub fn double(&self) -> Self {
+        self.add(self)
+    }
+
+    /// Multiplication by a small constant.
+    pub fn mul_u64(&self, k: u64) -> Self {
+        self.mul(&FieldElement::from_u64(k))
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is zero.
+    pub fn invert(&self) -> Self {
+        FieldElement(ctx().mont_inv(&self.0))
+    }
+
+    /// Square root, if one exists (`p ≡ 3 mod 4` ⇒ `sqrt = a^{(p+1)/4}`).
+    ///
+    /// Returns `None` for quadratic non-residues. Used by point
+    /// decompression.
+    pub fn sqrt(&self) -> Option<Self> {
+        // (p+1)/4
+        static EXP: OnceLock<U256> = OnceLock::new();
+        let exp = EXP.get_or_init(|| {
+            let (p1, carry) = ctx().m.adc(&U256::ONE);
+            debug_assert!(!carry);
+            p1.shr1().shr1()
+        });
+        let candidate = FieldElement(ctx().mont_pow(&self.0, exp));
+        if candidate.square() == *self {
+            Some(candidate)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the canonical value is odd (used for compressed point
+    /// parity).
+    pub fn is_odd(&self) -> bool {
+        self.to_canonical().is_odd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        let a = FieldElement::from_u64(123456789);
+        assert_eq!(a.add(&FieldElement::zero()), a);
+        assert_eq!(a.mul(&FieldElement::one()), a);
+        assert_eq!(a.sub(&a), FieldElement::zero());
+        assert_eq!(a.add(&a.neg()), FieldElement::zero());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = FieldElement::from_u64(0xdead_beef_cafe_f00d);
+        assert_eq!(a.mul(&a.invert()), FieldElement::one());
+    }
+
+    #[test]
+    fn sqrt_of_square() {
+        for v in [2u64, 3, 5, 1 << 40] {
+            let a = FieldElement::from_u64(v);
+            let sq = a.square();
+            let root = sq.sqrt().expect("square must have a root");
+            assert!(root == a || root == a.neg(), "v={v}");
+        }
+    }
+
+    #[test]
+    fn non_residue_has_no_root() {
+        // -1 is a non-residue mod p256 prime (p ≡ 3 mod 4).
+        let minus_one = FieldElement::one().neg();
+        assert!(minus_one.sqrt().is_none());
+    }
+
+    #[test]
+    fn byte_roundtrip_and_range_check() {
+        let a = FieldElement::from_u64(42);
+        assert_eq!(FieldElement::from_be_bytes(&a.to_be_bytes()), Some(a));
+        // p itself must be rejected.
+        let p_bytes = U256::from_be_hex(P_HEX).to_be_bytes();
+        assert!(FieldElement::from_be_bytes(&p_bytes).is_none());
+        assert!(FieldElement::from_be_bytes(&[0xff; 32]).is_none());
+    }
+
+    #[test]
+    fn curve_b_constant() {
+        assert_eq!(
+            FieldElement::curve_b().to_canonical().to_string(),
+            B_HEX
+        );
+    }
+
+    #[test]
+    fn distributivity_sample() {
+        let a = FieldElement::from_u64(77);
+        let b = FieldElement::from_u64(1 << 50);
+        let c = FieldElement::from_u64(u64::MAX);
+        assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+}

@@ -1,0 +1,334 @@
+//! Montgomery modular arithmetic over 256-bit odd moduli.
+//!
+//! One [`MontCtx`] instance each backs the base field GF(p) and the
+//! scalar field mod n. The context precomputes the Montgomery constants
+//! at construction (cheap: a couple hundred limb operations) so that no
+//! hand-derived magic numbers need to be trusted.
+
+#![allow(clippy::needless_range_loop)] // index form mirrors the limb algorithms
+
+use crate::u256::U256;
+
+/// Precomputed context for Montgomery arithmetic mod an odd 256-bit
+/// modulus `m` with `m > 2^255` (true for both P-256 moduli).
+#[derive(Debug, Clone)]
+pub struct MontCtx {
+    /// The modulus.
+    pub m: U256,
+    /// `-m^{-1} mod 2^64`.
+    n0: u64,
+    /// `R mod m` where `R = 2^256` (this is `1` in Montgomery form).
+    pub r1: U256,
+    /// `R^2 mod m` (used to convert into Montgomery form).
+    pub r2: U256,
+}
+
+impl MontCtx {
+    /// Builds a context for modulus `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is even or `m <= 2^255` (not the P-256 shape).
+    pub fn new(m: U256) -> Self {
+        assert!(m.is_odd(), "Montgomery modulus must be odd");
+        assert!(m.bit(255), "modulus must exceed 2^255");
+
+        // n0 = -m^{-1} mod 2^64 by Newton–Hensel lifting.
+        let m0 = m.limbs()[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m0.wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+
+        // R mod m = 2^256 - m   (valid because m > 2^255 ⇒ 2^256 < 2m).
+        let r1 = m.wrapping_neg();
+
+        // R^2 mod m by 256 modular doublings of R.
+        let mut r2 = r1;
+        for _ in 0..256 {
+            r2 = Self::mod_double(&r2, &m);
+        }
+
+        MontCtx { m, n0, r1, r2 }
+    }
+
+    fn mod_double(x: &U256, m: &U256) -> U256 {
+        let (d, carry) = x.shl1();
+        let (r, borrow) = d.sbb(m);
+        if carry || !borrow {
+            r
+        } else {
+            d
+        }
+    }
+
+    /// Modular addition of canonical (non-Montgomery) residues.
+    pub fn add(&self, a: &U256, b: &U256) -> U256 {
+        let (s, carry) = a.adc(b);
+        let (r, borrow) = s.sbb(&self.m);
+        if carry || !borrow {
+            r
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of canonical residues.
+    pub fn sub(&self, a: &U256, b: &U256) -> U256 {
+        let (d, borrow) = a.sbb(b);
+        if borrow {
+            d.wrapping_add(&self.m)
+        } else {
+            d
+        }
+    }
+
+    /// Modular negation of a canonical residue.
+    pub fn neg(&self, a: &U256) -> U256 {
+        if a.is_zero() {
+            U256::ZERO
+        } else {
+            self.m.wrapping_sub(a)
+        }
+    }
+
+    /// Montgomery multiplication: returns `a·b·R^{-1} mod m`
+    /// (CIOS over 4 limbs).
+    pub fn mont_mul(&self, a: &U256, b: &U256) -> U256 {
+        let al = a.limbs();
+        let bl = b.limbs();
+        let ml = self.m.limbs();
+        // t has 6 active positions: 4 limbs + 2 overflow slots.
+        let mut t = [0u64; 6];
+
+        for i in 0..4 {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..4 {
+                let acc = t[j] as u128 + (al[i] as u128) * (bl[j] as u128) + carry;
+                t[j] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[4] as u128 + carry;
+            t[4] = acc as u64;
+            t[5] = (acc >> 64) as u64;
+
+            // m-reduction step
+            let u = t[0].wrapping_mul(self.n0);
+            let acc = t[0] as u128 + (u as u128) * (ml[0] as u128);
+            let mut carry = acc >> 64;
+            for j in 1..4 {
+                let acc = t[j] as u128 + (u as u128) * (ml[j] as u128) + carry;
+                t[j - 1] = acc as u64;
+                carry = acc >> 64;
+            }
+            let acc = t[4] as u128 + carry;
+            t[3] = acc as u64;
+            let acc2 = t[5] as u128 + (acc >> 64);
+            t[4] = acc2 as u64;
+            t[5] = (acc2 >> 64) as u64;
+        }
+
+        let result = U256::from_limbs([t[0], t[1], t[2], t[3]]);
+        // Final conditional subtraction: result may be in [0, 2m).
+        if t[4] != 0 || result >= self.m {
+            result.wrapping_sub(&self.m)
+        } else {
+            result
+        }
+    }
+
+    /// Converts a canonical residue into Montgomery form (`a·R mod m`).
+    pub fn to_mont(&self, a: &U256) -> U256 {
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts out of Montgomery form (`a·R^{-1} mod m`).
+    pub fn from_mont(&self, a: &U256) -> U256 {
+        self.mont_mul(a, &U256::ONE)
+    }
+
+    /// Modular multiplication of canonical residues (convenience; two
+    /// Montgomery passes).
+    pub fn mul(&self, a: &U256, b: &U256) -> U256 {
+        let am = self.to_mont(a);
+        let bm = self.to_mont(b);
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Montgomery exponentiation: `base^exp · R mod m` for a Montgomery-
+    /// form `base`; the result stays in Montgomery form.
+    pub fn mont_pow(&self, base: &U256, exp: &U256) -> U256 {
+        let mut acc = self.r1; // 1 in Montgomery form
+        let bits = exp.bit_len();
+        for i in (0..bits).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exp.bit(i) {
+                acc = self.mont_mul(&acc, base);
+            }
+        }
+        acc
+    }
+
+    /// Modular inverse of a Montgomery-form element via Fermat's little
+    /// theorem (`a^{m-2}`); valid because both P-256 moduli are prime.
+    /// Returns a Montgomery-form result.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` is zero (zero has no inverse).
+    pub fn mont_inv(&self, a: &U256) -> U256 {
+        assert!(!a.is_zero(), "attempted to invert zero");
+        let exp = self.m.wrapping_sub(&U256::from_u64(2));
+        self.mont_pow(a, &exp)
+    }
+
+    /// Reduces a 512-bit value mod m (schoolbook shift-subtract; used
+    /// only at non-hot boundaries such as hash-to-scalar).
+    pub fn reduce_wide(&self, wide: &[u64; 8]) -> U256 {
+        // Process from the most significant bit down, maintaining
+        // acc = value-so-far mod m.
+        let mut acc = U256::ZERO;
+        for i in (0..512).rev() {
+            acc = Self::mod_double(&acc, &self.m);
+            if (wide[i / 64] >> (i % 64)) & 1 == 1 {
+                acc = self.add(&acc, &U256::ONE);
+            }
+        }
+        acc
+    }
+
+    /// Reduces a canonical 256-bit value mod m (single conditional
+    /// subtraction; valid because `m > 2^255`).
+    pub fn reduce(&self, a: &U256) -> U256 {
+        let (r, borrow) = a.sbb(&self.m);
+        if borrow {
+            *a
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p256_prime() -> U256 {
+        U256::from_be_hex("ffffffff00000001000000000000000000000000ffffffffffffffffffffffff")
+    }
+
+    fn p256_order() -> U256 {
+        U256::from_be_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551")
+    }
+
+    /// Bit-by-bit reference modular multiplication for cross-checking.
+    fn modmul_ref(a: &U256, b: &U256, m: &U256) -> U256 {
+        let mut acc = U256::ZERO;
+        for i in (0..b.bit_len()).rev() {
+            acc = MontCtx::mod_double(&acc, m);
+            if b.bit(i) {
+                let ctx_free_add = {
+                    let (s, carry) = acc.adc(a);
+                    let (r, borrow) = s.sbb(m);
+                    if carry || !borrow {
+                        r
+                    } else {
+                        s
+                    }
+                };
+                acc = ctx_free_add;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn constants_sane() {
+        let ctx = MontCtx::new(p256_prime());
+        // r1 = 2^256 mod p must be < p and nonzero.
+        assert!(ctx.r1 < ctx.m);
+        assert!(!ctx.r1.is_zero());
+        // to_mont(1) must equal r1.
+        assert_eq!(ctx.to_mont(&U256::ONE), ctx.r1);
+        // from_mont(to_mont(x)) is the identity.
+        let x = U256::from_u64(0x1234_5678_9abc_def0);
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&x)), x);
+    }
+
+    #[test]
+    fn mont_mul_matches_reference() {
+        for m in [p256_prime(), p256_order()] {
+            let ctx = MontCtx::new(m);
+            let a = U256::from_be_hex(
+                "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296",
+            );
+            let b = U256::from_be_hex(
+                "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5",
+            );
+            assert_eq!(ctx.mul(&a, &b), modmul_ref(&a, &b, &m));
+        }
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let ctx = MontCtx::new(p256_prime());
+        let a = U256::from_u64(5);
+        let b = ctx.m.wrapping_sub(&U256::from_u64(3)); // -3 mod p
+        assert_eq!(ctx.add(&a, &b), U256::from_u64(2));
+        assert_eq!(ctx.sub(&U256::from_u64(3), &U256::from_u64(5)), ctx.neg(&U256::from_u64(2)));
+        assert_eq!(ctx.neg(&U256::ZERO), U256::ZERO);
+        assert_eq!(ctx.add(&ctx.neg(&a), &a), U256::ZERO);
+    }
+
+    #[test]
+    fn inversion_identity() {
+        for m in [p256_prime(), p256_order()] {
+            let ctx = MontCtx::new(m);
+            for v in [2u64, 3, 0xdeadbeef, u64::MAX] {
+                let a = ctx.to_mont(&U256::from_u64(v));
+                let inv = ctx.mont_inv(&a);
+                let prod = ctx.mont_mul(&a, &inv);
+                assert_eq!(ctx.from_mont(&prod), U256::ONE, "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invert zero")]
+    fn invert_zero_panics() {
+        let ctx = MontCtx::new(p256_prime());
+        ctx.mont_inv(&U256::ZERO);
+    }
+
+    #[test]
+    fn pow_small_cases() {
+        let ctx = MontCtx::new(p256_prime());
+        let two = ctx.to_mont(&U256::from_u64(2));
+        // 2^10 = 1024
+        let r = ctx.mont_pow(&two, &U256::from_u64(10));
+        assert_eq!(ctx.from_mont(&r), U256::from_u64(1024));
+        // x^0 = 1
+        let r = ctx.mont_pow(&two, &U256::ZERO);
+        assert_eq!(ctx.from_mont(&r), U256::ONE);
+    }
+
+    #[test]
+    fn wide_reduction_matches_mul() {
+        let ctx = MontCtx::new(p256_order());
+        let a = U256::from_be_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632550");
+        let b = U256::from_be_hex("00000000ffffffff00000000000000004319055258e8617b0c46353d039cdaaf");
+        let wide = a.widening_mul(&b);
+        assert_eq!(ctx.reduce_wide(&wide), ctx.mul(&a, &b));
+    }
+
+    #[test]
+    fn reduce_single() {
+        let ctx = MontCtx::new(p256_prime());
+        assert_eq!(ctx.reduce(&U256::ZERO), U256::ZERO);
+        assert_eq!(ctx.reduce(&ctx.m), U256::ZERO);
+        assert_eq!(ctx.reduce(&ctx.m.wrapping_add(&U256::from_u64(7))), U256::from_u64(7));
+        assert_eq!(ctx.reduce(&U256::from_u64(7)), U256::from_u64(7));
+    }
+}

@@ -1,0 +1,447 @@
+//! P-256 group operations.
+//!
+//! Points are manipulated in Jacobian coordinates (`x = X/Z²`,
+//! `y = Y/Z³`) with `a = −3` folded into the doubling formula, exactly
+//! as micro-ecc does. Scalar multiplication uses a 4-bit fixed window;
+//! [`multi_scalar_mul`] implements Shamir's trick for the
+//! `u1·G + u2·Q` of ECDSA verification (an ablation toggle in the
+//! benchmarks — micro-ecc itself performs two separate multiplications).
+
+use crate::field::FieldElement;
+use crate::scalar::Scalar;
+use crate::u256::U256;
+use std::sync::OnceLock;
+
+/// Generator x-coordinate, big-endian hex.
+pub const GX_HEX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
+/// Generator y-coordinate, big-endian hex.
+pub const GY_HEX: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+/// A point in affine coordinates, or the point at infinity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AffinePoint {
+    /// x-coordinate (meaningless when `infinity`).
+    pub x: FieldElement,
+    /// y-coordinate (meaningless when `infinity`).
+    pub y: FieldElement,
+    /// Whether this is the identity element.
+    pub infinity: bool,
+}
+
+impl AffinePoint {
+    /// The point at infinity (group identity).
+    pub fn identity() -> Self {
+        AffinePoint {
+            x: FieldElement::zero(),
+            y: FieldElement::zero(),
+            infinity: true,
+        }
+    }
+
+    /// The curve generator `G`.
+    pub fn generator() -> Self {
+        static G: OnceLock<AffinePoint> = OnceLock::new();
+        *G.get_or_init(|| AffinePoint {
+            x: FieldElement::from_canonical(&U256::from_be_hex(GX_HEX)).expect("Gx < p"),
+            y: FieldElement::from_canonical(&U256::from_be_hex(GY_HEX)).expect("Gy < p"),
+            infinity: false,
+        })
+    }
+
+    /// Checks the affine curve equation `y² = x³ − 3x + b`.
+    pub fn is_on_curve(&self) -> bool {
+        if self.infinity {
+            return true;
+        }
+        let y2 = self.y.square();
+        let x3 = self.x.square().mul(&self.x);
+        let rhs = x3
+            .sub(&self.x.double().add(&self.x)) // x³ − 3x
+            .add(&FieldElement::curve_b());
+        y2 == rhs
+    }
+
+    /// Constructs a point from affine coordinates, validating the curve
+    /// equation. Returns `None` when `(x, y)` is not on the curve.
+    pub fn from_coords(x: FieldElement, y: FieldElement) -> Option<Self> {
+        let p = AffinePoint {
+            x,
+            y,
+            infinity: false,
+        };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Point negation.
+    pub fn neg(&self) -> Self {
+        AffinePoint {
+            x: self.x,
+            y: self.y.neg(),
+            infinity: self.infinity,
+        }
+    }
+
+    /// Group addition (affine convenience; converts through Jacobian).
+    pub fn add(&self, rhs: &AffinePoint) -> AffinePoint {
+        JacobianPoint::from_affine(self)
+            .add_affine(rhs)
+            .to_affine()
+    }
+
+    /// Scalar multiplication `k·self`.
+    pub fn mul(&self, k: &Scalar) -> AffinePoint {
+        JacobianPoint::from_affine(self).mul(k).to_affine()
+    }
+}
+
+/// A point in Jacobian projective coordinates.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobianPoint {
+    x: FieldElement,
+    y: FieldElement,
+    z: FieldElement,
+}
+
+impl JacobianPoint {
+    /// The identity element (encoded with `Z = 0`).
+    pub fn identity() -> Self {
+        JacobianPoint {
+            x: FieldElement::one(),
+            y: FieldElement::one(),
+            z: FieldElement::zero(),
+        }
+    }
+
+    /// Whether this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Lifts an affine point.
+    pub fn from_affine(p: &AffinePoint) -> Self {
+        if p.infinity {
+            Self::identity()
+        } else {
+            JacobianPoint {
+                x: p.x,
+                y: p.y,
+                z: FieldElement::one(),
+            }
+        }
+    }
+
+    /// Projects back to affine coordinates (one field inversion).
+    pub fn to_affine(&self) -> AffinePoint {
+        if self.is_identity() {
+            return AffinePoint::identity();
+        }
+        let z_inv = self.z.invert();
+        let z_inv2 = z_inv.square();
+        let z_inv3 = z_inv2.mul(&z_inv);
+        AffinePoint {
+            x: self.x.mul(&z_inv2),
+            y: self.y.mul(&z_inv3),
+            infinity: false,
+        }
+    }
+
+    /// Point doubling with `a = −3`
+    /// (`M = 3(X−Z²)(X+Z²)`, standard dbl-2001-b shape).
+    pub fn double(&self) -> JacobianPoint {
+        if self.is_identity() || self.y.is_zero() {
+            return Self::identity();
+        }
+        let zz = self.z.square();
+        let m = self
+            .x
+            .sub(&zz)
+            .mul(&self.x.add(&zz))
+            .mul(&FieldElement::from_u64(3));
+        let y2 = self.y.square();
+        let s = self.x.mul(&y2).double().double(); // 4·X·Y²
+        let x3 = m.square().sub(&s.double());
+        let y4_8 = y2.square().double().double().double(); // 8·Y⁴
+        let y3 = m.mul(&s.sub(&x3)).sub(&y4_8);
+        let z3 = self.y.mul(&self.z).double();
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General Jacobian + Jacobian addition.
+    pub fn add(&self, rhs: &JacobianPoint) -> JacobianPoint {
+        if self.is_identity() {
+            return *rhs;
+        }
+        if rhs.is_identity() {
+            return *self;
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = rhs.z.square();
+        let u1 = self.x.mul(&z2z2);
+        let u2 = rhs.x.mul(&z1z1);
+        let s1 = self.y.mul(&z2z2).mul(&rhs.z);
+        let s2 = rhs.y.mul(&z1z1).mul(&self.z);
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2.sub(&u1);
+        let r = s2.sub(&s1);
+        let h2 = h.square();
+        let h3 = h2.mul(&h);
+        let u1h2 = u1.mul(&h2);
+        let x3 = r.square().sub(&h3).sub(&u1h2.double());
+        let y3 = r.mul(&u1h2.sub(&x3)).sub(&s1.mul(&h3));
+        let z3 = self.z.mul(&rhs.z).mul(&h);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Mixed Jacobian + affine addition (saves a few multiplications).
+    pub fn add_affine(&self, rhs: &AffinePoint) -> JacobianPoint {
+        if rhs.infinity {
+            return *self;
+        }
+        if self.is_identity() {
+            return Self::from_affine(rhs);
+        }
+        let z1z1 = self.z.square();
+        let u2 = rhs.x.mul(&z1z1);
+        let s2 = rhs.y.mul(&z1z1).mul(&self.z);
+        if self.x == u2 {
+            if self.y == s2 {
+                return self.double();
+            }
+            return Self::identity();
+        }
+        let h = u2.sub(&self.x);
+        let r = s2.sub(&self.y);
+        let h2 = h.square();
+        let h3 = h2.mul(&h);
+        let u1h2 = self.x.mul(&h2);
+        let x3 = r.square().sub(&h3).sub(&u1h2.double());
+        let y3 = r.mul(&u1h2.sub(&x3)).sub(&self.y.mul(&h3));
+        let z3 = self.z.mul(&h);
+        JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Scalar multiplication with a 4-bit fixed window.
+    ///
+    /// Not constant-time: zero windows skip the table addition. The
+    /// simulated protocols model timing through the device cost model,
+    /// not through host-side execution time, so this is acceptable here
+    /// (and is called out in the security notes of the README).
+    pub fn mul(&self, k: &Scalar) -> JacobianPoint {
+        let kv = k.to_canonical();
+        if kv.is_zero() || self.is_identity() {
+            return Self::identity();
+        }
+        // Precompute 1·P … 15·P.
+        let mut table = [Self::identity(); 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = if i % 2 == 0 {
+                table[i / 2].double()
+            } else {
+                table[i - 1].add(self)
+            };
+        }
+        let mut acc = Self::identity();
+        for w in (0..64).rev() {
+            if !acc.is_identity() {
+                acc = acc.double().double().double().double();
+            }
+            let nib = kv.nibble(w);
+            if nib != 0 {
+                acc = acc.add(&table[nib as usize]);
+            }
+        }
+        acc
+    }
+}
+
+impl PartialEq for JacobianPoint {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare in the projective equivalence class:
+        // X1·Z2² == X2·Z1² and Y1·Z2³ == Y2·Z1³.
+        match (self.is_identity(), other.is_identity()) {
+            (true, true) => return true,
+            (true, false) | (false, true) => return false,
+            _ => {}
+        }
+        let z1z1 = self.z.square();
+        let z2z2 = other.z.square();
+        self.x.mul(&z2z2) == other.x.mul(&z1z1)
+            && self.y.mul(&z2z2).mul(&other.z) == other.y.mul(&z1z1).mul(&self.z)
+    }
+}
+
+impl Eq for JacobianPoint {}
+
+/// `k·G` — multiplication of the generator.
+pub fn mul_generator(k: &Scalar) -> AffinePoint {
+    AffinePoint::generator().mul(k)
+}
+
+/// Shamir's trick: computes `a·P + b·Q` with a single shared
+/// double-and-add pass. Used by the optimized ECDSA verification.
+pub fn multi_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoint) -> AffinePoint {
+    let av = a.to_canonical();
+    let bv = b.to_canonical();
+    let pj = JacobianPoint::from_affine(p);
+    let qj = JacobianPoint::from_affine(q);
+    let pq = pj.add(&qj);
+    let mut acc = JacobianPoint::identity();
+    let bits = av.bit_len().max(bv.bit_len());
+    for i in (0..bits).rev() {
+        acc = acc.double();
+        match (av.bit(i), bv.bit(i)) {
+            (true, true) => acc = acc.add(&pq),
+            (true, false) => acc = acc.add(&pj),
+            (false, true) => acc = acc.add(&qj),
+            (false, false) => {}
+        }
+    }
+    acc.to_affine()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecq_crypto::HmacDrbg;
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(AffinePoint::generator().is_on_curve());
+    }
+
+    #[test]
+    fn known_double_of_g() {
+        // 2G, standard P-256 test vector.
+        let two_g = AffinePoint::generator().mul(&Scalar::from_u64(2));
+        assert_eq!(
+            two_g.x.to_canonical().to_string(),
+            "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"
+        );
+        assert_eq!(
+            two_g.y.to_canonical().to_string(),
+            "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"
+        );
+    }
+
+    #[test]
+    fn known_triple_of_g() {
+        // 3G, standard P-256 test vector.
+        let three_g = AffinePoint::generator().mul(&Scalar::from_u64(3));
+        assert_eq!(
+            three_g.x.to_canonical().to_string(),
+            "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c"
+        );
+        assert_eq!(
+            three_g.y.to_canonical().to_string(),
+            "8734640c4998ff7e374b06ce1a64a2ecd82ab036384fb83d9a79b127a27d5032"
+        );
+    }
+
+    #[test]
+    fn order_times_g_is_identity() {
+        // n·G = O, checked via (n-1)·G + G.
+        let n_minus_1 = Scalar::from_u64(1).neg();
+        let p = mul_generator(&n_minus_1);
+        let sum = p.add(&AffinePoint::generator());
+        assert!(sum.infinity);
+        // (n-1)·G == -G
+        assert_eq!(p, AffinePoint::generator().neg());
+    }
+
+    #[test]
+    fn add_commutative_and_assoc() {
+        let g = AffinePoint::generator();
+        let p = g.mul(&Scalar::from_u64(5));
+        let q = g.mul(&Scalar::from_u64(11));
+        let r = g.mul(&Scalar::from_u64(100));
+        assert_eq!(p.add(&q), q.add(&p));
+        assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let g = AffinePoint::generator();
+        let a = Scalar::from_u64(123);
+        let b = Scalar::from_u64(456);
+        assert_eq!(g.mul(&a).add(&g.mul(&b)), g.mul(&a.add(&b)));
+        assert_eq!(g.mul(&a).mul(&b), g.mul(&a.mul(&b)));
+    }
+
+    #[test]
+    fn identity_laws() {
+        let g = AffinePoint::generator();
+        let id = AffinePoint::identity();
+        assert_eq!(g.add(&id), g);
+        assert_eq!(id.add(&g), g);
+        assert!(g.add(&g.neg()).infinity);
+        assert!(g.mul(&Scalar::zero()).infinity);
+        assert!(id.mul(&Scalar::from_u64(7)).infinity);
+    }
+
+    #[test]
+    fn doubling_matches_addition() {
+        let g = JacobianPoint::from_affine(&AffinePoint::generator());
+        assert_eq!(g.double(), g.add(&g));
+    }
+
+    #[test]
+    fn multi_scalar_matches_naive() {
+        let mut rng = HmacDrbg::from_seed(5);
+        let g = AffinePoint::generator();
+        for _ in 0..4 {
+            let a = Scalar::random(&mut rng);
+            let b = Scalar::random(&mut rng);
+            let q = g.mul(&Scalar::random(&mut rng));
+            let fast = multi_scalar_mul(&a, &g, &b, &q);
+            let naive = g.mul(&a).add(&q.mul(&b));
+            assert_eq!(fast, naive);
+        }
+    }
+
+    #[test]
+    fn mul_random_scalars_stay_on_curve() {
+        let mut rng = HmacDrbg::from_seed(6);
+        let g = AffinePoint::generator();
+        for _ in 0..4 {
+            let k = Scalar::random(&mut rng);
+            let p = g.mul(&k);
+            assert!(p.is_on_curve());
+            assert!(!p.infinity);
+        }
+    }
+
+    #[test]
+    fn jacobian_eq_across_representations() {
+        let g = JacobianPoint::from_affine(&AffinePoint::generator());
+        let doubled = g.double();
+        // Same point reached two ways, different Z.
+        let via_add = g.add(&g);
+        assert_eq!(doubled, via_add);
+        assert_eq!(doubled.to_affine(), via_add.to_affine());
+    }
+
+    #[test]
+    fn from_coords_validates() {
+        let g = AffinePoint::generator();
+        assert!(AffinePoint::from_coords(g.x, g.y).is_some());
+        assert!(AffinePoint::from_coords(g.x, g.x).is_none());
+    }
+}

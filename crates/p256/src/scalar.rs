@@ -1,0 +1,220 @@
+//! Arithmetic mod `n`, the P-256 group order.
+//!
+//! Scalars are the exponents of the group: private keys, ECDSA nonces,
+//! the ECQV hash values `e = H_n(Cert)` and the reconstruction data `r`.
+
+use crate::mont::MontCtx;
+use crate::u256::U256;
+use crate::CurveError;
+use ecq_crypto::HmacDrbg;
+use std::sync::OnceLock;
+
+/// The P-256 group order, big-endian hex.
+pub const N_HEX: &str = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
+
+fn ctx() -> &'static MontCtx {
+    static CTX: OnceLock<MontCtx> = OnceLock::new();
+    CTX.get_or_init(|| MontCtx::new(U256::from_be_hex(N_HEX)))
+}
+
+/// A scalar mod `n` in Montgomery form.
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+pub struct Scalar(U256);
+
+impl core::fmt::Debug for Scalar {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // Scalars are usually secret; show only a short fingerprint.
+        let bytes = self.to_be_bytes();
+        write!(f, "Scalar(…{:02x}{:02x})", bytes[30], bytes[31])
+    }
+}
+
+impl Scalar {
+    /// The scalar 0.
+    pub fn zero() -> Self {
+        Scalar(U256::ZERO)
+    }
+
+    /// The scalar 1.
+    pub fn one() -> Self {
+        Scalar(ctx().r1)
+    }
+
+    /// The group order `n` as an integer.
+    pub fn order() -> U256 {
+        ctx().m
+    }
+
+    /// Builds from a canonical integer `< n`; `None` otherwise.
+    pub fn from_canonical(v: &U256) -> Option<Self> {
+        if *v >= ctx().m {
+            None
+        } else {
+            Some(Scalar(ctx().to_mont(v)))
+        }
+    }
+
+    /// Builds from an arbitrary 256-bit integer, reducing mod n.
+    pub fn from_reduced(v: &U256) -> Self {
+        Scalar(ctx().to_mont(&ctx().reduce(v)))
+    }
+
+    /// Builds from a 512-bit integer, reducing mod n (for wide hashes).
+    pub fn from_wide(wide: &[u64; 8]) -> Self {
+        Scalar(ctx().to_mont(&ctx().reduce_wide(wide)))
+    }
+
+    /// Builds from a small integer.
+    pub fn from_u64(v: u64) -> Self {
+        Scalar(ctx().to_mont(&U256::from_u64(v)))
+    }
+
+    /// Parses 32 big-endian bytes as a canonical scalar.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::InvalidScalar`] when the value is `>= n`.
+    pub fn from_be_bytes(bytes: &[u8; 32]) -> Result<Self, CurveError> {
+        Self::from_canonical(&U256::from_be_bytes(bytes)).ok_or(CurveError::InvalidScalar)
+    }
+
+    /// Parses 32 big-endian bytes, reducing mod n (hash-to-scalar; this
+    /// is the paper's `Hash(Cert_X)` interpreted as an integer).
+    pub fn from_be_bytes_reduced(bytes: &[u8; 32]) -> Self {
+        Self::from_reduced(&U256::from_be_bytes(bytes))
+    }
+
+    /// Samples a uniformly random nonzero scalar in `[1, n-1]`
+    /// (the paper's eq. (2): `X ∈_R [1, …, n−1]`).
+    pub fn random(rng: &mut HmacDrbg) -> Self {
+        loop {
+            let candidate = U256::from_be_bytes(&rng.bytes32());
+            if candidate.is_zero() {
+                continue;
+            }
+            if let Some(s) = Self::from_canonical(&candidate) {
+                if !s.is_zero() {
+                    return s;
+                }
+            }
+        }
+    }
+
+    /// Returns the canonical integer value.
+    pub fn to_canonical(self) -> U256 {
+        ctx().from_mont(&self.0)
+    }
+
+    /// Serializes to 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        self.to_canonical().to_be_bytes()
+    }
+
+    /// Whether this is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.is_zero()
+    }
+
+    /// Addition mod n.
+    pub fn add(&self, rhs: &Self) -> Self {
+        Scalar(ctx().add(&self.0, &rhs.0))
+    }
+
+    /// Subtraction mod n.
+    pub fn sub(&self, rhs: &Self) -> Self {
+        Scalar(ctx().sub(&self.0, &rhs.0))
+    }
+
+    /// Negation mod n.
+    pub fn neg(&self) -> Self {
+        Scalar(ctx().neg(&self.0))
+    }
+
+    /// Multiplication mod n.
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Scalar(ctx().mont_mul(&self.0, &rhs.0))
+    }
+
+    /// Multiplicative inverse mod n.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is zero.
+    pub fn invert(&self) -> Self {
+        Scalar(ctx().mont_inv(&self.0))
+    }
+
+    /// Whether the canonical value is in the "high" half (`> n/2`);
+    /// used for low-s ECDSA normalization.
+    pub fn is_high(&self) -> bool {
+        static HALF: OnceLock<U256> = OnceLock::new();
+        let half = HALF.get_or_init(|| ctx().m.shr1());
+        self.to_canonical() > *half
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_identities() {
+        let a = Scalar::from_u64(987654321);
+        assert_eq!(a.add(&Scalar::zero()), a);
+        assert_eq!(a.mul(&Scalar::one()), a);
+        assert_eq!(a.sub(&a), Scalar::zero());
+        assert_eq!(a.mul(&a.invert()), Scalar::one());
+    }
+
+    #[test]
+    fn range_validation() {
+        let n = U256::from_be_hex(N_HEX);
+        assert!(Scalar::from_canonical(&n).is_none());
+        assert!(Scalar::from_canonical(&n.wrapping_sub(&U256::ONE)).is_some());
+        assert_eq!(
+            Scalar::from_be_bytes(&[0xff; 32]),
+            Err(CurveError::InvalidScalar)
+        );
+    }
+
+    #[test]
+    fn reduction_wraps() {
+        let n = U256::from_be_hex(N_HEX);
+        let over = n.wrapping_add(&U256::from_u64(5));
+        assert_eq!(Scalar::from_reduced(&over), Scalar::from_u64(5));
+        let bytes = over.to_be_bytes();
+        assert_eq!(Scalar::from_be_bytes_reduced(&bytes), Scalar::from_u64(5));
+    }
+
+    #[test]
+    fn random_scalars_nonzero_distinct() {
+        let mut rng = HmacDrbg::from_seed(11);
+        let a = Scalar::random(&mut rng);
+        let b = Scalar::random(&mut rng);
+        assert!(!a.is_zero());
+        assert!(!b.is_zero());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn high_low_halves() {
+        assert!(!Scalar::from_u64(1).is_high());
+        assert!(Scalar::from_u64(1).neg().is_high()); // n-1 is high
+    }
+
+    #[test]
+    fn wide_reduction_consistency() {
+        // (n-1)^2 mod n == 1
+        let nm1 = Scalar::from_u64(1).neg();
+        let wide = nm1.to_canonical().widening_mul(&nm1.to_canonical());
+        assert_eq!(Scalar::from_wide(&wide), Scalar::one());
+    }
+
+    #[test]
+    fn debug_shows_fingerprint_only() {
+        let s = Scalar::from_u64(0xabcd);
+        let dbg = format!("{s:?}");
+        assert!(dbg.starts_with("Scalar(…"));
+        assert!(dbg.len() < 20);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests of the elliptic-curve group: abelian group
+//! laws, scalar-multiplication homomorphism, encodings, ECDSA and ECDH
+//! over random keys. Case counts are kept low — every case costs
+//! several scalar multiplications.
+
+use ecq_crypto::HmacDrbg;
+use ecq_p256::ecdsa::{self, VerifyStrategy};
+use ecq_p256::encoding;
+use ecq_p256::keys::KeyPair;
+use ecq_p256::point::{mul_generator, multi_scalar_mul, AffinePoint};
+use ecq_p256::scalar::Scalar;
+use ecq_p256::u256::U256;
+use proptest::prelude::*;
+
+fn arb_scalar() -> impl Strategy<Value = Scalar> {
+    any::<[u8; 32]>().prop_map(|b| {
+        let s = Scalar::from_reduced(&U256::from_be_bytes(&b));
+        if s.is_zero() {
+            Scalar::one()
+        } else {
+            s
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn scalar_mul_is_homomorphic(a in arb_scalar(), b in arb_scalar()) {
+        // (a+b)G = aG + bG and (a·b)G = a(bG).
+        let g = AffinePoint::generator();
+        prop_assert_eq!(g.mul(&a.add(&b)), g.mul(&a).add(&g.mul(&b)));
+        prop_assert_eq!(g.mul(&a.mul(&b)), g.mul(&b).mul(&a));
+    }
+
+    #[test]
+    fn group_is_abelian(a in arb_scalar(), b in arb_scalar()) {
+        let p = mul_generator(&a);
+        let q = mul_generator(&b);
+        prop_assert_eq!(p.add(&q), q.add(&p));
+        prop_assert!(p.add(&q).is_on_curve());
+    }
+
+    #[test]
+    fn negation_cancels(a in arb_scalar()) {
+        let p = mul_generator(&a);
+        prop_assert!(p.add(&p.neg()).infinity);
+        prop_assert_eq!(mul_generator(&a.neg()), p.neg());
+    }
+
+    #[test]
+    fn encodings_roundtrip(a in arb_scalar()) {
+        let p = mul_generator(&a);
+        prop_assert_eq!(encoding::decode_compressed(&encoding::encode_compressed(&p)).unwrap(), p);
+        prop_assert_eq!(encoding::decode_raw(&encoding::encode_raw(&p)).unwrap(), p);
+        prop_assert_eq!(
+            encoding::decode_uncompressed(&encoding::encode_uncompressed(&p)).unwrap(),
+            p
+        );
+    }
+
+    #[test]
+    fn shamir_equals_naive(a in arb_scalar(), b in arb_scalar(), q_scalar in arb_scalar()) {
+        let g = AffinePoint::generator();
+        let q = mul_generator(&q_scalar);
+        prop_assert_eq!(
+            multi_scalar_mul(&a, &g, &b, &q),
+            g.mul(&a).add(&q.mul(&b))
+        );
+    }
+
+    #[test]
+    fn ecdsa_roundtrip_and_strategy_agreement(key in arb_scalar(), msg in any::<[u8; 24]>()) {
+        let kp = KeyPair::from_private(key);
+        let sig = ecdsa::sign(&kp.private, &msg);
+        prop_assert!(ecdsa::verify_with(&kp.public, &msg, &sig, VerifyStrategy::SeparateMuls));
+        prop_assert!(ecdsa::verify_with(&kp.public, &msg, &sig, VerifyStrategy::Shamir));
+        prop_assert!(!sig.s.is_high());
+        // Tampered message rejected.
+        let mut other = msg;
+        other[0] ^= 1;
+        prop_assert!(!ecdsa::verify(&kp.public, &other, &sig));
+    }
+
+    #[test]
+    fn ecdh_commutes(seed in any::<u64>()) {
+        let mut rng = HmacDrbg::from_seed(seed);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        prop_assert_eq!(
+            ecq_p256::ecdh::shared_secret(&a.private, &b.public).unwrap(),
+            ecq_p256::ecdh::shared_secret(&b.private, &a.public).unwrap()
+        );
+    }
+}

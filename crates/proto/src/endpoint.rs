@@ -1,0 +1,226 @@
+//! The two-party endpoint abstraction and handshake driver.
+
+use crate::error::ProtocolError;
+use crate::session::SessionKey;
+use crate::trace::OpTrace;
+use crate::transcript::{LoggedMessage, Transcript};
+use crate::wire::Message;
+use ecq_cert::DeviceId;
+
+/// The two handshake roles — the paper's ALICE (initiator) and BOB
+/// (responder) of Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The party that opens the session (ALICE / device A).
+    Initiator,
+    /// The party that answers (BOB / device B).
+    Responder,
+}
+
+impl Role {
+    /// The opposite role.
+    pub fn peer(&self) -> Role {
+        match self {
+            Role::Initiator => Role::Responder,
+            Role::Responder => Role::Initiator,
+        }
+    }
+
+    /// The paper's step-label prefix for this role ("A" or "B").
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            Role::Initiator => "A",
+            Role::Responder => "B",
+        }
+    }
+}
+
+/// A protocol endpoint: one side of a two-party key-derivation
+/// handshake, advanced by feeding it messages.
+pub trait Endpoint {
+    /// This endpoint's identity.
+    fn id(&self) -> DeviceId;
+
+    /// This endpoint's role.
+    fn role(&self) -> Role;
+
+    /// Called once on the initiator to produce the opening message.
+    /// Responders return `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] aborting the handshake.
+    fn start(&mut self) -> Result<Option<Message>, ProtocolError>;
+
+    /// Feeds an incoming message; returns the reply, if any.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] aborting the handshake (authentication
+    /// failure, decode error, unexpected state).
+    fn on_message(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError>;
+
+    /// Whether the handshake has completed on this side.
+    fn is_established(&self) -> bool;
+
+    /// The derived session key.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtocolError::NotEstablished`] before completion.
+    fn session_key(&self) -> Result<SessionKey, ProtocolError>;
+
+    /// The primitive-operation trace accumulated so far.
+    fn trace(&self) -> &OpTrace;
+}
+
+/// Maximum message exchanges before the driver declares a stall.
+const MAX_ROUNDS: usize = 16;
+
+/// Drives a full handshake between two endpoints, alternating messages
+/// until both report establishment, and returns the complete
+/// [`Transcript`] (messages with byte accounting + both op traces).
+///
+/// # Errors
+///
+/// Propagates endpoint errors; [`ProtocolError::Stalled`] if the
+/// exchange exceeds an internal round budget without completing.
+pub fn run_handshake(
+    initiator: &mut dyn Endpoint,
+    responder: &mut dyn Endpoint,
+) -> Result<Transcript, ProtocolError> {
+    debug_assert_eq!(initiator.role(), Role::Initiator);
+    debug_assert_eq!(responder.role(), Role::Responder);
+
+    let mut messages = Vec::new();
+    let mut pending = initiator.start()?;
+    let mut sender = Role::Initiator;
+
+    let mut rounds = 0;
+    while let Some(msg) = pending {
+        rounds += 1;
+        if rounds > MAX_ROUNDS {
+            return Err(ProtocolError::Stalled);
+        }
+        messages.push(LoggedMessage::from_message(sender, &msg));
+        let receiver: &mut dyn Endpoint = match sender {
+            Role::Initiator => responder,
+            Role::Responder => initiator,
+        };
+        pending = receiver.on_message(&msg)?;
+        sender = sender.peer();
+    }
+
+    if !initiator.is_established() || !responder.is_established() {
+        return Err(ProtocolError::Stalled);
+    }
+
+    Ok(Transcript::new(
+        messages,
+        initiator.trace().clone(),
+        responder.trace().clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{PrimitiveOp, StsPhase};
+    use crate::wire::{FieldKind, WireField};
+
+    /// A minimal ping/pong endpoint pair for driver tests.
+    struct PingPong {
+        role: Role,
+        established: bool,
+        trace: OpTrace,
+        hang: bool,
+    }
+
+    impl PingPong {
+        fn new(role: Role, hang: bool) -> Self {
+            PingPong {
+                role,
+                established: false,
+                trace: OpTrace::new(),
+                hang,
+            }
+        }
+    }
+
+    impl Endpoint for PingPong {
+        fn id(&self) -> DeviceId {
+            DeviceId::from_label(self.role.prefix())
+        }
+        fn role(&self) -> Role {
+            self.role
+        }
+        fn start(&mut self) -> Result<Option<Message>, ProtocolError> {
+            self.trace
+                .record(StsPhase::Other, PrimitiveOp::RandomBytes { bytes: 1 });
+            Ok(Some(Message::new(
+                "A1",
+                vec![WireField::new(FieldKind::Ack, vec![1])],
+            )))
+        }
+        fn on_message(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+            if self.hang {
+                // Echo forever: never establishes.
+                return Ok(Some(msg.clone()));
+            }
+            match self.role {
+                Role::Responder => {
+                    self.established = true;
+                    Ok(Some(Message::new(
+                        "B1",
+                        vec![WireField::new(FieldKind::Ack, vec![2])],
+                    )))
+                }
+                Role::Initiator => {
+                    self.established = true;
+                    Ok(None)
+                }
+            }
+        }
+        fn is_established(&self) -> bool {
+            self.established
+        }
+        fn session_key(&self) -> Result<SessionKey, ProtocolError> {
+            if self.established {
+                Ok(SessionKey::from_bytes([0u8; 32]))
+            } else {
+                Err(ProtocolError::NotEstablished)
+            }
+        }
+        fn trace(&self) -> &OpTrace {
+            &self.trace
+        }
+    }
+
+    #[test]
+    fn driver_completes_pingpong() {
+        let mut a = PingPong::new(Role::Initiator, false);
+        let mut b = PingPong::new(Role::Responder, false);
+        let transcript = run_handshake(&mut a, &mut b).unwrap();
+        assert_eq!(transcript.messages().len(), 2);
+        assert_eq!(transcript.total_bytes(), 2);
+        assert_eq!(transcript.trace(Role::Initiator).len(), 1);
+    }
+
+    #[test]
+    fn driver_detects_stall() {
+        let mut a = PingPong::new(Role::Initiator, true);
+        let mut b = PingPong::new(Role::Responder, true);
+        assert_eq!(
+            run_handshake(&mut a, &mut b).unwrap_err(),
+            ProtocolError::Stalled
+        );
+    }
+
+    #[test]
+    fn role_helpers() {
+        assert_eq!(Role::Initiator.peer(), Role::Responder);
+        assert_eq!(Role::Responder.peer(), Role::Initiator);
+        assert_eq!(Role::Initiator.prefix(), "A");
+        assert_eq!(Role::Responder.prefix(), "B");
+    }
+}

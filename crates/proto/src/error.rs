@@ -1,0 +1,82 @@
+//! Protocol error type shared by all handshake implementations.
+
+use ecq_cert::CertError;
+use ecq_p256::CurveError;
+
+/// Errors surfaced by protocol endpoints and the handshake driver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A curve-level operation failed.
+    Curve(CurveError),
+    /// A certificate-level operation failed.
+    Cert(CertError),
+    /// Peer authentication failed (bad signature or MAC).
+    AuthenticationFailed,
+    /// A message arrived out of order or in an unexpected state.
+    UnexpectedMessage,
+    /// A message could not be decoded.
+    Decode,
+    /// The session key was requested before establishment.
+    NotEstablished,
+    /// The handshake driver exceeded its round budget (protocol bug or
+    /// a deadlocked state machine).
+    Stalled,
+}
+
+impl core::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolError::Curve(e) => write!(f, "curve error: {e}"),
+            ProtocolError::Cert(e) => write!(f, "certificate error: {e}"),
+            ProtocolError::AuthenticationFailed => write!(f, "peer authentication failed"),
+            ProtocolError::UnexpectedMessage => write!(f, "unexpected protocol message"),
+            ProtocolError::Decode => write!(f, "message decoding failed"),
+            ProtocolError::NotEstablished => write!(f, "session not established"),
+            ProtocolError::Stalled => write!(f, "handshake stalled"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Curve(e) => Some(e),
+            ProtocolError::Cert(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CurveError> for ProtocolError {
+    fn from(e: CurveError) -> Self {
+        ProtocolError::Curve(e)
+    }
+}
+
+impl From<CertError> for ProtocolError {
+    fn from(e: CertError) -> Self {
+        ProtocolError::Cert(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_and_source() {
+        let e = ProtocolError::Curve(CurveError::InvalidPoint);
+        assert!(e.to_string().contains("curve error"));
+        assert!(e.source().is_some());
+        assert!(ProtocolError::Decode.source().is_none());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: ProtocolError = CurveError::InvalidScalar.into();
+        assert_eq!(e, ProtocolError::Curve(CurveError::InvalidScalar));
+        let e: ProtocolError = CertError::Expired.into();
+        assert_eq!(e, ProtocolError::Cert(CertError::Expired));
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared protocol infrastructure for the key-derivation protocols.
+//!
+//! Everything the concrete protocols (STS in `ecq-sts`, the baselines in
+//! `ecq-baselines`) have in common lives here:
+//!
+//! * [`wire`] — the typed message/field model whose byte sizes reproduce
+//!   the paper's Table II exactly,
+//! * [`trace`] — the primitive-operation trace that the device cost
+//!   model (`ecq-devices`) integrates into Table I timings,
+//! * [`session`] — session key material and the KDF chain of eq. (4),
+//! * [`endpoint`] — the two-party state-machine abstraction and the
+//!   handshake driver that produces [`transcript::Transcript`]s,
+//! * [`error`] — the shared error type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod credentials;
+pub mod endpoint;
+pub mod error;
+pub mod session;
+pub mod trace;
+pub mod transcript;
+pub mod wire;
+
+pub use credentials::Credentials;
+pub use endpoint::{run_handshake, Endpoint, Role};
+pub use error::ProtocolError;
+pub use session::SessionKey;
+pub use trace::{OpTrace, PrimitiveOp, StsPhase};
+pub use transcript::Transcript;
+pub use wire::{FieldKind, Message, WireField};
+
+/// The seven protocol variants evaluated in the paper (Tables I–III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProtocolKind {
+    /// Static ECDSA key derivation (Basic et al. \[5\]).
+    SEcdsa,
+    /// S-ECDSA with the extended finished-message handling.
+    SEcdsaExt,
+    /// STS dynamic key derivation (this paper), conventional schedule.
+    Sts,
+    /// STS with optimization I (Op2 pipelined across devices, eq. (7)).
+    StsOptI,
+    /// STS with optimization II (Op2 and Op3 pipelined, eq. (8)).
+    StsOptII,
+    /// Sciancalepore et al. \[4\]: SKD + symmetric authentication.
+    Scianc,
+    /// Porambage et al. \[3\]: two-phase pairwise establishment.
+    Poramb,
+}
+
+impl ProtocolKind {
+    /// All variants in the paper's Table I row order.
+    pub const ALL: [ProtocolKind; 7] = [
+        ProtocolKind::SEcdsa,
+        ProtocolKind::SEcdsaExt,
+        ProtocolKind::Sts,
+        ProtocolKind::StsOptI,
+        ProtocolKind::StsOptII,
+        ProtocolKind::Scianc,
+        ProtocolKind::Poramb,
+    ];
+
+    /// The distinct wire formats of Table II (the STS optimizations do
+    /// not change the transmitted data — §V-B of the paper).
+    pub const WIRE_DISTINCT: [ProtocolKind; 5] = [
+        ProtocolKind::SEcdsa,
+        ProtocolKind::SEcdsaExt,
+        ProtocolKind::Sts,
+        ProtocolKind::Scianc,
+        ProtocolKind::Poramb,
+    ];
+
+    /// The paper's display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProtocolKind::SEcdsa => "S-ECDSA",
+            ProtocolKind::SEcdsaExt => "S-ECDSA (ext.)",
+            ProtocolKind::Sts => "STS",
+            ProtocolKind::StsOptI => "STS (opt. I)",
+            ProtocolKind::StsOptII => "STS (opt. II)",
+            ProtocolKind::Scianc => "SCIANC",
+            ProtocolKind::Poramb => "PORAMB",
+        }
+    }
+
+    /// Whether the variant performs a *dynamic* key derivation
+    /// (fresh ephemeral secret per communication session). Only STS
+    /// does — §V-A: "Only STS is the true DKD".
+    pub fn is_dynamic(&self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Sts | ProtocolKind::StsOptI | ProtocolKind::StsOptII
+        )
+    }
+}
+
+impl core::fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_unique_labels() {
+        let mut labels: Vec<&str> = ProtocolKind::ALL.iter().map(|p| p.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 7);
+    }
+
+    #[test]
+    fn only_sts_family_is_dynamic() {
+        assert!(ProtocolKind::Sts.is_dynamic());
+        assert!(ProtocolKind::StsOptI.is_dynamic());
+        assert!(ProtocolKind::StsOptII.is_dynamic());
+        assert!(!ProtocolKind::SEcdsa.is_dynamic());
+        assert!(!ProtocolKind::SEcdsaExt.is_dynamic());
+        assert!(!ProtocolKind::Scianc.is_dynamic());
+        assert!(!ProtocolKind::Poramb.is_dynamic());
+    }
+}

@@ -1,0 +1,140 @@
+//! Handshake transcripts: everything needed to reproduce Table II
+//! (bytes on the wire) and Table I (primitive traces → device time).
+
+use crate::endpoint::Role;
+use crate::trace::OpTrace;
+use crate::wire::Message;
+
+/// A logged wire message: sender, step label, per-field accounting and
+/// the raw bytes (kept so attack simulations can replay/decrypt later).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoggedMessage {
+    /// Which role sent the message.
+    pub sender: Role,
+    /// The paper's step label ("A1", "B2", …).
+    pub step: &'static str,
+    /// `"Label(len)"` field description, Table II style.
+    pub fields: String,
+    /// Total wire bytes.
+    pub wire_len: usize,
+    /// The raw encoded bytes (what a passive eavesdropper captures).
+    pub bytes: Vec<u8>,
+}
+
+impl LoggedMessage {
+    /// Logs a message as the driver passes it across.
+    pub fn from_message(sender: Role, msg: &Message) -> Self {
+        LoggedMessage {
+            sender,
+            step: msg.step,
+            fields: msg.describe_fields(),
+            wire_len: msg.wire_len(),
+            bytes: msg.encode(),
+        }
+    }
+}
+
+/// A complete two-party handshake record.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    messages: Vec<LoggedMessage>,
+    trace_initiator: OpTrace,
+    trace_responder: OpTrace,
+}
+
+impl Transcript {
+    /// Assembles a transcript from driver output.
+    pub fn new(
+        messages: Vec<LoggedMessage>,
+        trace_initiator: OpTrace,
+        trace_responder: OpTrace,
+    ) -> Self {
+        Transcript {
+            messages,
+            trace_initiator,
+            trace_responder,
+        }
+    }
+
+    /// The logged messages in exchange order.
+    pub fn messages(&self) -> &[LoggedMessage] {
+        &self.messages
+    }
+
+    /// Number of communication steps (Table II's "steps" count).
+    pub fn step_count(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Total bytes across all messages (Table II's "Total" row).
+    pub fn total_bytes(&self) -> usize {
+        self.messages.iter().map(|m| m.wire_len).sum()
+    }
+
+    /// The primitive trace of one role.
+    pub fn trace(&self, role: Role) -> &OpTrace {
+        match role {
+            Role::Initiator => &self.trace_initiator,
+            Role::Responder => &self.trace_responder,
+        }
+    }
+
+    /// Renders the Table II column for this protocol: one line per step
+    /// plus the total.
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        for m in &self.messages {
+            out.push_str(&format!("{}: {}\n", m.step, m.fields));
+        }
+        out.push_str(&format!(
+            "Total {}: {} B\n",
+            self.step_count(),
+            self.total_bytes()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{FieldKind, WireField};
+
+    fn msg(step: &'static str, kinds: &[FieldKind]) -> Message {
+        Message::new(
+            step,
+            kinds
+                .iter()
+                .map(|k| WireField::new(*k, vec![0u8; k.wire_len()]))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn accounting() {
+        let t = Transcript::new(
+            vec![
+                LoggedMessage::from_message(
+                    Role::Initiator,
+                    &msg("A1", &[FieldKind::Id, FieldKind::EphemeralPoint]),
+                ),
+                LoggedMessage::from_message(Role::Responder, &msg("B1", &[FieldKind::Ack])),
+            ],
+            OpTrace::new(),
+            OpTrace::new(),
+        );
+        assert_eq!(t.step_count(), 2);
+        assert_eq!(t.total_bytes(), 16 + 64 + 1);
+        let desc = t.describe();
+        assert!(desc.contains("A1: ID(16), XG(64)"));
+        assert!(desc.contains("Total 2: 81 B"));
+    }
+
+    #[test]
+    fn logged_bytes_match_encoding() {
+        let m = msg("A1", &[FieldKind::Nonce]);
+        let logged = LoggedMessage::from_message(Role::Initiator, &m);
+        assert_eq!(logged.bytes, m.encode());
+        assert_eq!(logged.wire_len, 32);
+    }
+}

@@ -1,0 +1,121 @@
+//! The application/session layer header of the paper's Fig. 6.
+//!
+//! Above CAN-TP, the prototype frames every payload with a session
+//! header: a communication code, a session communication identifier
+//! and an operation code. Key-derivation handshake payloads and
+//! encrypted application data both travel inside this envelope.
+
+/// Operation codes for the session layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpCode {
+    /// Key-derivation handshake payload.
+    KeyDerivation,
+    /// Encrypted application data.
+    AppData,
+    /// Session acknowledgement/control.
+    Control,
+}
+
+impl OpCode {
+    /// Wire encoding.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            OpCode::KeyDerivation => 0x10,
+            OpCode::AppData => 0x20,
+            OpCode::Control => 0x30,
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0x10 => Some(OpCode::KeyDerivation),
+            0x20 => Some(OpCode::AppData),
+            0x30 => Some(OpCode::Control),
+            _ => None,
+        }
+    }
+}
+
+/// Length of the session header in bytes
+/// (comm code 1 + session id 2 + op code 1).
+pub const HEADER_LEN: usize = 4;
+
+/// A session-layer message (Fig. 6's "Application" row).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AppMessage {
+    /// Communication code (message class within the deployment).
+    pub comm_code: u8,
+    /// Session communication identifier.
+    pub session_id: u16,
+    /// Operation code.
+    pub op_code: OpCode,
+    /// Payload (handshake message or encrypted app data).
+    pub data: Vec<u8>,
+}
+
+impl AppMessage {
+    /// Wraps a key-derivation handshake payload.
+    pub fn handshake(session_id: u16, data: Vec<u8>) -> Self {
+        AppMessage {
+            comm_code: 0x01,
+            session_id,
+            op_code: OpCode::KeyDerivation,
+            data,
+        }
+    }
+
+    /// Serializes to header ‖ payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + self.data.len());
+        out.push(self.comm_code);
+        out.extend_from_slice(&self.session_id.to_be_bytes());
+        out.push(self.op_code.to_byte());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses header ‖ payload.
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < HEADER_LEN {
+            return None;
+        }
+        Some(AppMessage {
+            comm_code: bytes[0],
+            session_id: u16::from_be_bytes([bytes[1], bytes[2]]),
+            op_code: OpCode::from_byte(bytes[3])?,
+            data: bytes[HEADER_LEN..].to_vec(),
+        })
+    }
+
+    /// Total encoded length.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let m = AppMessage::handshake(0x1234, vec![1, 2, 3]);
+        let decoded = AppMessage::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(m.wire_len(), 7);
+    }
+
+    #[test]
+    fn rejects_short_and_bad_opcode() {
+        assert!(AppMessage::decode(&[1, 2, 3]).is_none());
+        assert!(AppMessage::decode(&[1, 0, 0, 0xFF, 9]).is_none());
+    }
+
+    #[test]
+    fn opcode_byte_roundtrip() {
+        for op in [OpCode::KeyDerivation, OpCode::AppData, OpCode::Control] {
+            assert_eq!(OpCode::from_byte(op.to_byte()), Some(op));
+        }
+    }
+}

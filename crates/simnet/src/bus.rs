@@ -1,0 +1,177 @@
+//! A discrete-event CAN bus.
+//!
+//! The bus serializes frame transmissions: one frame occupies the
+//! medium at a time, and when several nodes contend, the lowest CAN
+//! identifier wins arbitration (ISO 11898 priority). The BMS prototype
+//! scenario drives this with a simple transmit/deliver loop; the event
+//! queue keeps the model honest when the battery emulator traffic
+//! overlaps the handshake.
+
+use crate::canfd::{BitTiming, CanFdFrame};
+use crate::SimNanos;
+use std::collections::BinaryHeap;
+
+/// A frame queued for transmission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct PendingTx {
+    ready_at: SimNanos,
+    frame: CanFdFrame,
+    /// Monotonic tiebreaker for equal (time, id).
+    seq: u64,
+}
+
+impl Ord for PendingTx {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first, then
+        // lowest-id-first (arbitration), then FIFO.
+        other
+            .ready_at
+            .cmp(&self.ready_at)
+            .then(other.frame.id.cmp(&self.frame.id))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for PendingTx {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A delivered frame with its completion timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery {
+    /// When the last bit left the bus.
+    pub completed_at: SimNanos,
+    /// The frame.
+    pub frame: CanFdFrame,
+}
+
+/// The shared bus.
+#[derive(Debug)]
+pub struct CanBus {
+    timing: BitTiming,
+    queue: BinaryHeap<PendingTx>,
+    busy_until: SimNanos,
+    seq: u64,
+    deliveries: Vec<Delivery>,
+}
+
+impl CanBus {
+    /// Creates a bus with the given bit timing.
+    pub fn new(timing: BitTiming) -> Self {
+        CanBus {
+            timing,
+            queue: BinaryHeap::new(),
+            busy_until: 0,
+            seq: 0,
+            deliveries: Vec::new(),
+        }
+    }
+
+    /// Queues a frame for transmission at (or after) `ready_at`.
+    pub fn submit(&mut self, ready_at: SimNanos, frame: CanFdFrame) {
+        self.queue.push(PendingTx {
+            ready_at,
+            frame,
+            seq: self.seq,
+        });
+        self.seq += 1;
+    }
+
+    /// Runs the bus until the queue drains; returns all deliveries in
+    /// completion order.
+    pub fn run(&mut self) -> Vec<Delivery> {
+        while let Some(tx) = self.pop_next() {
+            let start = tx.ready_at.max(self.busy_until);
+            let done = start + tx.frame.frame_time_ns(&self.timing);
+            self.busy_until = done;
+            self.deliveries.push(Delivery {
+                completed_at: done,
+                frame: tx.frame,
+            });
+        }
+        std::mem::take(&mut self.deliveries)
+    }
+
+    /// Pops the next frame honouring arbitration: among frames ready
+    /// by the time the bus frees, the lowest identifier wins.
+    fn pop_next(&mut self) -> Option<PendingTx> {
+        let mut ready: Vec<PendingTx> = Vec::new();
+        // Drain candidates that are ready when the bus becomes free.
+        while let Some(top) = self.queue.peek() {
+            if top.ready_at <= self.busy_until || ready.is_empty() {
+                ready.push(self.queue.pop().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        if ready.is_empty() {
+            return None;
+        }
+        // Arbitrate among the ready set.
+        let winner_idx = ready
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, tx)| (tx.ready_at.max(self.busy_until), tx.frame.id, tx.seq))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let winner = ready.swap_remove(winner_idx);
+        for tx in ready {
+            self.queue.push(tx);
+        }
+        Some(winner)
+    }
+
+    /// The time the bus frees after everything submitted so far.
+    pub fn busy_until(&self) -> SimNanos {
+        self.busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_serialize_in_time_order() {
+        let mut bus = CanBus::new(BitTiming::default());
+        bus.submit(0, CanFdFrame::new(0x200, &[1; 8]));
+        bus.submit(1_000_000, CanFdFrame::new(0x100, &[2; 8]));
+        let out = bus.run();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].frame.id, 0x200); // earlier submission goes first
+        assert!(out[0].completed_at < out[1].completed_at);
+    }
+
+    #[test]
+    fn arbitration_prefers_low_id_when_contending() {
+        let mut bus = CanBus::new(BitTiming::default());
+        // Both ready at t=0: the lower id must win.
+        bus.submit(0, CanFdFrame::new(0x300, &[1; 8]));
+        bus.submit(0, CanFdFrame::new(0x100, &[2; 8]));
+        let out = bus.run();
+        assert_eq!(out[0].frame.id, 0x100);
+        assert_eq!(out[1].frame.id, 0x300);
+    }
+
+    #[test]
+    fn bus_occupancy_delays_later_frames() {
+        let mut bus = CanBus::new(BitTiming::default());
+        let f = CanFdFrame::new(0x100, &[0; 64]);
+        let t_frame = f.frame_time_ns(&BitTiming::default());
+        bus.submit(0, f.clone());
+        bus.submit(0, f);
+        let out = bus.run();
+        assert_eq!(out[0].completed_at, t_frame);
+        assert_eq!(out[1].completed_at, 2 * t_frame);
+    }
+
+    #[test]
+    fn idle_gap_preserved() {
+        let mut bus = CanBus::new(BitTiming::default());
+        bus.submit(10_000_000, CanFdFrame::new(0x100, &[0; 8]));
+        let out = bus.run();
+        assert!(out[0].completed_at > 10_000_000);
+    }
+}

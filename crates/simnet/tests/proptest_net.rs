@@ -1,0 +1,110 @@
+//! Property-based tests of the network substrate: ISO-TP segmentation
+//! roundtrips over arbitrary payloads, DLC mapping laws, frame-time
+//! monotonicity and app-header roundtrips.
+
+use ecq_simnet::app::AppMessage;
+use ecq_simnet::canfd::{padded_len, BitTiming, CanFdFrame, DLC_SIZES};
+use ecq_simnet::isotp::{segment, transfer_time_ns, IsoTpConfig, Reassembler};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn isotp_roundtrips_any_payload(payload in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let config = IsoTpConfig::default();
+        let frames = segment(&payload, &config).unwrap();
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in &frames {
+            out = r.accept(f).unwrap();
+        }
+        prop_assert_eq!(out.expect("complete"), payload.clone());
+        prop_assert!(!r.in_progress());
+    }
+
+    #[test]
+    fn isotp_frame_count_formula(len in 0usize..2048) {
+        let config = IsoTpConfig::default();
+        let frames = segment(&vec![0u8; len], &config).unwrap();
+        let expect = if len <= 62 {
+            1
+        } else {
+            1 + (len - 62).div_ceil(63)
+        };
+        prop_assert_eq!(frames.len(), expect);
+    }
+
+    #[test]
+    fn dlc_padding_is_minimal_and_valid(len in 0usize..=64) {
+        let padded = padded_len(len);
+        prop_assert!(padded >= len);
+        prop_assert!(DLC_SIZES.contains(&padded));
+        // Minimality: no smaller DLC size fits.
+        for &cap in DLC_SIZES.iter() {
+            if cap >= len {
+                prop_assert!(padded <= cap);
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn frame_time_monotone_in_payload(a in 0usize..=64, b in 0usize..=64) {
+        let timing = BitTiming::default();
+        let ta = CanFdFrame::new(1, &vec![0u8; a]).frame_time_ns(&timing);
+        let tb = CanFdFrame::new(1, &vec![0u8; b]).frame_time_ns(&timing);
+        if padded_len(a) <= padded_len(b) {
+            prop_assert!(ta <= tb);
+        }
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_length(len in 1usize..2000) {
+        let timing = BitTiming::default();
+        let cfg = IsoTpConfig::default();
+        prop_assert!(
+            transfer_time_ns(len, &timing, &cfg) <= transfer_time_ns(len + 64, &timing, &cfg)
+        );
+    }
+
+    #[test]
+    fn app_header_roundtrips(comm in any::<u8>(), session in any::<u16>(),
+                             data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let msg = AppMessage {
+            comm_code: comm,
+            session_id: session,
+            op_code: ecq_simnet::app::OpCode::KeyDerivation,
+            data,
+        };
+        prop_assert_eq!(AppMessage::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn reassembler_rejects_frame_loss(payload in proptest::collection::vec(any::<u8>(), 200..800),
+                                      drop_idx in 1usize..4) {
+        let config = IsoTpConfig::default();
+        let frames = segment(&payload, &config).unwrap();
+        prop_assume!(drop_idx < frames.len() - 1);
+        let mut r = Reassembler::new();
+        let mut failed = false;
+        for (i, f) in frames.iter().enumerate() {
+            if i == drop_idx {
+                continue; // lost frame
+            }
+            match r.accept(f) {
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+                Ok(Some(msg)) => {
+                    // If it completes despite a loss, the data must NOT
+                    // silently equal the original.
+                    prop_assert_ne!(msg, payload.clone());
+                }
+                Ok(None) => {}
+            }
+        }
+        prop_assert!(failed, "a dropped CF must be detected as a sequence error");
+    }
+}

@@ -1,0 +1,81 @@
+//! Compares all seven protocol variants across the paper's four
+//! embedded boards: the programmatic version of Tables I–II.
+//!
+//! ```sh
+//! cargo run --example protocol_comparison
+//! ```
+
+use dynamic_ecqv::devices::timing::protocol_pair_time;
+use dynamic_ecqv::prelude::*;
+use dynamic_ecqv::proto::ProtocolError;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = HmacDrbg::from_seed(31337);
+    let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+    let alice = Credentials::provision(&ca, DeviceId::from_label("alice"), 0, 3600, &mut rng)?;
+    let bob = Credentials::provision(&ca, DeviceId::from_label("bob"), 0, 3600, &mut rng)?;
+
+    println!(
+        "{:<16}{:>8}{:>8}   {}",
+        "protocol", "steps", "bytes", "simulated pair time per device (ms)"
+    );
+    println!("{}", "-".repeat(100));
+
+    for kind in ProtocolKind::ALL {
+        let (transcript, _key) = run(kind, &alice, &bob, &mut rng)?;
+        print!(
+            "{:<16}{:>8}{:>8}   ",
+            kind.label(),
+            transcript.step_count(),
+            transcript.total_bytes()
+        );
+        for preset in DevicePreset::ALL {
+            let device = preset.profile();
+            let ms = protocol_pair_time(kind, &transcript, &device, &device);
+            print!("{:>11.1}", ms);
+        }
+        println!();
+    }
+    println!(
+        "\ncolumns: {}",
+        DevicePreset::ALL
+            .iter()
+            .map(|p| p.profile().name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("(STS opt. rows transmit the same bytes; only the schedule differs — §V-B)");
+    Ok(())
+}
+
+fn run(
+    kind: ProtocolKind,
+    alice: &Credentials,
+    bob: &Credentials,
+    rng: &mut HmacDrbg,
+) -> Result<(dynamic_ecqv::proto::Transcript, SessionKey), ProtocolError> {
+    use dynamic_ecqv::baselines::{establish_poramb, establish_s_ecdsa, establish_scianc};
+    match kind {
+        ProtocolKind::Sts | ProtocolKind::StsOptI | ProtocolKind::StsOptII => {
+            let out = establish(alice, bob, &StsConfig::default(), rng)?;
+            Ok((out.transcript, out.initiator_key))
+        }
+        ProtocolKind::SEcdsa => {
+            let out = establish_s_ecdsa(alice, bob, 0, false, rng)?;
+            Ok((out.transcript, out.initiator_key))
+        }
+        ProtocolKind::SEcdsaExt => {
+            let out = establish_s_ecdsa(alice, bob, 0, true, rng)?;
+            Ok((out.transcript, out.initiator_key))
+        }
+        ProtocolKind::Scianc => {
+            let out = establish_scianc(alice, bob, 0, rng)?;
+            Ok((out.transcript, out.initiator_key))
+        }
+        ProtocolKind::Poramb => {
+            let pairwise = rng.bytes32();
+            let out = establish_poramb(alice, bob, &pairwise, 0, rng)?;
+            Ok((out.transcript, out.initiator_key))
+        }
+    }
+}

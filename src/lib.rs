@@ -1,0 +1,60 @@
+//! # dynamic-ecqv
+//!
+//! A full reproduction of *"Establishing Dynamic Secure Sessions for
+//! ECQV Implicit Certificates in Embedded Systems"* (Basic, Steger,
+//! Kofler — DATE 2023) as a Rust workspace.
+//!
+//! This facade crate re-exports every layer; see the individual crates
+//! for the substance:
+//!
+//! * [`crypto`] — SHA-256 / HMAC / HKDF / AES-128 / CMAC / HMAC-DRBG,
+//! * [`p256`] — the curve, ECDSA and ECDH from scratch,
+//! * [`cert`] — SEC4 ECQV implicit certificates,
+//! * [`proto`] — wire model, op traces, endpoint driver,
+//! * [`sts`] — **the paper's contribution**: STS dynamic key
+//!   derivation for ECQV architectures,
+//! * [`baselines`] — S-ECDSA, SCIANC, PORAMB comparison protocols,
+//! * [`devices`] — the four evaluation boards' cost models,
+//! * [`simnet`] — CAN-FD + ISO 15765-2 network simulation,
+//! * [`bms`] — the BMS↔EVCC automotive prototype,
+//! * [`analysis`] — threat model, Table III and executable attacks.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dynamic_ecqv::prelude::*;
+//!
+//! // Deployment: a CA provisions two devices with implicit certs.
+//! let mut rng = HmacDrbg::from_seed(1);
+//! let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+//! let alice = Credentials::provision(&ca, DeviceId::from_label("alice"), 0, 3600, &mut rng)?;
+//! let bob = Credentials::provision(&ca, DeviceId::from_label("bob"), 0, 3600, &mut rng)?;
+//!
+//! // Session establishment: STS dynamic key derivation.
+//! let session = establish(&alice, &bob, &StsConfig::default(), &mut rng)?;
+//! assert_eq!(session.initiator_key, session.responder_key);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ecq_analysis as analysis;
+pub use ecq_baselines as baselines;
+pub use ecq_bms as bms;
+pub use ecq_cert as cert;
+pub use ecq_crypto as crypto;
+pub use ecq_devices as devices;
+pub use ecq_p256 as p256;
+pub use ecq_proto as proto;
+pub use ecq_simnet as simnet;
+pub use ecq_sts as sts;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use ecq_cert::{ca::CertificateAuthority, DeviceId, ImplicitCert};
+    pub use ecq_crypto::HmacDrbg;
+    pub use ecq_devices::DevicePreset;
+    pub use ecq_proto::{Credentials, ProtocolKind, SessionKey};
+    pub use ecq_sts::{establish, StsConfig, StsVariant};
+}

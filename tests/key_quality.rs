@@ -1,0 +1,69 @@
+//! Statistical sanity of derived session keys (threat T5's "each
+//! unique key needs to have a high-enough entropy"): bit balance and
+//! inter-key distance across many sessions. These are smoke tests for
+//! catastrophic derivation bugs (stuck bits, shared prefixes), not
+//! certifications of randomness.
+
+use dynamic_ecqv::prelude::*;
+
+fn collect_keys(n: usize) -> Vec<[u8; 32]> {
+    let mut rng = HmacDrbg::from_seed(0xE27);
+    let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+    let a = Credentials::provision(&ca, DeviceId::from_label("a"), 0, 1000, &mut rng).unwrap();
+    let b = Credentials::provision(&ca, DeviceId::from_label("b"), 0, 1000, &mut rng).unwrap();
+    (0..n)
+        .map(|_| {
+            *establish(&a, &b, &StsConfig::default(), &mut rng)
+                .unwrap()
+                .initiator_key
+                .as_bytes()
+        })
+        .collect()
+}
+
+#[test]
+fn session_key_bits_are_balanced() {
+    let keys = collect_keys(24);
+    let total_bits = keys.len() * 256;
+    let ones: usize = keys
+        .iter()
+        .map(|k| k.iter().map(|b| b.count_ones() as usize).sum::<usize>())
+        .sum();
+    let ratio = ones as f64 / total_bits as f64;
+    // 6144 fair coin flips: |ratio − 0.5| < 0.04 with overwhelming margin.
+    assert!(
+        (0.46..0.54).contains(&ratio),
+        "bit balance off: {ratio:.3}"
+    );
+}
+
+#[test]
+fn no_stuck_bytes_across_sessions() {
+    let keys = collect_keys(16);
+    for pos in 0..32 {
+        let first = keys[0][pos];
+        assert!(
+            keys.iter().any(|k| k[pos] != first),
+            "byte {pos} constant across sessions"
+        );
+    }
+}
+
+#[test]
+fn pairwise_hamming_distance_near_half() {
+    let keys = collect_keys(10);
+    for i in 0..keys.len() {
+        for j in (i + 1)..keys.len() {
+            let dist: u32 = keys[i]
+                .iter()
+                .zip(keys[j].iter())
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            // 256-bit strings: expect ~128, demand 80..176 (>6σ).
+            assert!(
+                (80..=176).contains(&dist),
+                "keys {i},{j} too close/far: {dist}"
+            );
+        }
+    }
+}

