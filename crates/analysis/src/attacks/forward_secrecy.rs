@@ -53,7 +53,13 @@ fn encrypt_app_data(key: &SessionKey, plaintext: &[u8]) -> Vec<u8> {
 ///
 /// Propagates handshake errors.
 pub fn capture_s_ecdsa(deployment: &mut TestDeployment) -> Result<CapturedSession, ProtocolError> {
-    let out = establish_s_ecdsa(&deployment.alice, &deployment.bob, 0, false, &mut deployment.rng)?;
+    let out = establish_s_ecdsa(
+        &deployment.alice,
+        &deployment.bob,
+        0,
+        false,
+        &mut deployment.rng,
+    )?;
     let plaintext = b"BMS cell telemetry: v=3.71V t=25.4C soc=81%".to_vec();
     let ciphertext = encrypt_app_data(&out.initiator_key, &plaintext);
     Ok(CapturedSession {
@@ -185,7 +191,10 @@ mod tests {
         let leaked = d.alice.keys.private; // the later compromise
         let recovered =
             s_ecdsa_offline_decrypt(&captured, &leaked, &d.ca.public_key()).expect("attack runs");
-        assert_eq!(recovered, captured.plaintext, "S-ECDSA lacks forward secrecy");
+        assert_eq!(
+            recovered, captured.plaintext,
+            "S-ECDSA lacks forward secrecy"
+        );
     }
 
     #[test]

@@ -23,9 +23,7 @@ use ecq_crypto::HmacDrbg;
 use ecq_p256::encoding::{decode_raw, encode_raw};
 use ecq_p256::point::mul_generator;
 use ecq_p256::scalar::Scalar;
-use ecq_proto::{
-    Endpoint, FieldKind, Message, ProtocolError, Role, SessionKey, WireField,
-};
+use ecq_proto::{Endpoint, FieldKind, Message, ProtocolError, Role, SessionKey, WireField};
 use ecq_sts::auth::{auth_response, DIR_RESPONDER};
 use ecq_sts::{StsConfig, StsInitiator};
 
@@ -83,10 +81,7 @@ pub fn scianc_kci(deployment: &mut TestDeployment) -> KciOutcome {
 
     // Forge Bob's authentication MAC.
     let forged = scianc::auth_mac(&ks, Role::Responder, &nonce_a, &nonce_e);
-    let b2 = Message::new(
-        "B2",
-        vec![WireField::new(FieldKind::Mac, forged.to_vec())],
-    );
+    let b2 = Message::new("B2", vec![WireField::new(FieldKind::Mac, forged.to_vec())]);
     match alice.on_message(&b2) {
         Ok(_) if alice.is_established() => KciOutcome::Compromised,
         Ok(_) => KciOutcome::Rejected(ProtocolError::Stalled),
@@ -121,7 +116,14 @@ pub fn sts_kci(deployment: &mut TestDeployment) -> KciOutcome {
 
     // Forge the response: the only private key available is Alice's.
     let mut scratch = ecq_proto::OpTrace::new();
-    let resp = auth_response(&ks, &leaked_alice_priv, &xg_e, &xg_a, DIR_RESPONDER, &mut scratch);
+    let resp = auth_response(
+        &ks,
+        &leaked_alice_priv,
+        &xg_e,
+        &xg_a,
+        DIR_RESPONDER,
+        &mut scratch,
+    );
 
     let b1 = Message::new(
         "B1",

@@ -27,11 +27,19 @@ pub struct ReuseReport {
 /// # Errors
 ///
 /// Propagates handshake errors.
-pub fn s_ecdsa_reuse(deployment: &mut TestDeployment, n: usize) -> Result<ReuseReport, ProtocolError> {
+pub fn s_ecdsa_reuse(
+    deployment: &mut TestDeployment,
+    n: usize,
+) -> Result<ReuseReport, ProtocolError> {
     let mut keys = Vec::new();
     for _ in 0..n {
-        let out =
-            establish_s_ecdsa(&deployment.alice, &deployment.bob, 0, false, &mut deployment.rng)?;
+        let out = establish_s_ecdsa(
+            &deployment.alice,
+            &deployment.bob,
+            0,
+            false,
+            &mut deployment.rng,
+        )?;
         keys.push(*out.initiator_key.as_bytes());
     }
     // The premaster is recomputable without any session state:
@@ -45,7 +53,10 @@ pub fn s_ecdsa_reuse(deployment: &mut TestDeployment, n: usize) -> Result<ReuseR
 /// # Errors
 ///
 /// Propagates handshake errors.
-pub fn scianc_reuse(deployment: &mut TestDeployment, n: usize) -> Result<ReuseReport, ProtocolError> {
+pub fn scianc_reuse(
+    deployment: &mut TestDeployment,
+    n: usize,
+) -> Result<ReuseReport, ProtocolError> {
     let mut keys = Vec::new();
     for _ in 0..n {
         let out = establish_scianc(&deployment.alice, &deployment.bob, 0, &mut deployment.rng)?;
@@ -105,7 +116,10 @@ mod tests {
         let r = s_ecdsa_reuse(&mut d, 5).unwrap();
         assert_eq!(r.sessions, 5);
         assert_eq!(r.distinct_session_keys, 5, "nonces diversify the output");
-        assert_eq!(r.distinct_premasters, 1, "but the secret base never changes");
+        assert_eq!(
+            r.distinct_premasters, 1,
+            "but the secret base never changes"
+        );
 
         let r = scianc_reuse(&mut d, 5).unwrap();
         assert_eq!(r.distinct_premasters, 1);

@@ -53,7 +53,10 @@ pub fn sts_rogue_certificate(deployment: &mut TestDeployment) -> MitmOutcome {
     let mut attacker = StsResponder::new(attacker_creds, config, &mut attacker_rng);
 
     let a1 = alice.start().expect("start").expect("A1");
-    let b1 = attacker.on_message(&a1).expect("attacker replies").expect("B1");
+    let b1 = attacker
+        .on_message(&a1)
+        .expect("attacker replies")
+        .expect("B1");
     match alice.on_message(&b1) {
         Err(e) => MitmOutcome::Rejected(e),
         Ok(_) => MitmOutcome::Compromised,

@@ -103,7 +103,11 @@ pub fn render_text() -> String {
                     "    ← [{}] {}{}\n",
                     m.counter.tag(),
                     m.counter.label(),
-                    if m.partial { "  [R] partial protection" } else { "" }
+                    if m.partial {
+                        "  [R] partial protection"
+                    } else {
+                        ""
+                    }
                 ));
             }
         }

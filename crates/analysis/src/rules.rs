@@ -85,12 +85,7 @@ pub fn security_matrix() -> SecurityMatrix {
         columns: columns_props.iter().map(|p| p.kind).collect(),
         rows: row_order
             .iter()
-            .map(|t| {
-                (
-                    *t,
-                    columns_props.iter().map(|p| rate(p, *t)).collect(),
-                )
-            })
+            .map(|t| (*t, columns_props.iter().map(|p| rate(p, *t)).collect()))
             .collect(),
     }
 }

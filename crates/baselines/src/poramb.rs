@@ -110,11 +110,7 @@ fn derive_ks(
     ]
     .concat();
     trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-    Ok(SessionKey::derive(
-        &s2.x.to_be_bytes(),
-        &salt,
-        KDF_LABEL,
-    ))
+    Ok(SessionKey::derive(&s2.x.to_be_bytes(), &salt, KDF_LABEL))
 }
 
 /// Phase-2 MAC under the pre-shared pairwise key.
@@ -269,7 +265,13 @@ impl PorambInitiator {
             return Err(ProtocolError::Cert(ecq_cert::CertError::Expired));
         }
         self.trace.record(StsPhase::Other, PrimitiveOp::MacVerify);
-        let expect = phase2_mac(&self.pairwise, Role::Responder, &self.hello, &nonce_b, &cert_b);
+        let expect = phase2_mac(
+            &self.pairwise,
+            Role::Responder,
+            &self.hello,
+            &nonce_b,
+            &cert_b,
+        );
         if !ecq_crypto::ct::eq(&expect, mac) {
             return Err(ProtocolError::AuthenticationFailed);
         }
@@ -282,7 +284,13 @@ impl PorambInitiator {
             nonce_b,
         };
         let ks = derive_ks(&self.creds, &cert_b, &inputs, &mut self.trace)?;
-        let finish = finish_blob(&self.pairwise, &ks, Role::Initiator, &self.creds.cert, &mut self.trace);
+        let finish = finish_blob(
+            &self.pairwise,
+            &ks,
+            Role::Initiator,
+            &self.creds.cert,
+            &mut self.trace,
+        );
         self.peer_cert = Some(cert_b);
         self.session = Some(ks);
         self.state = InitState::AwaitB3;

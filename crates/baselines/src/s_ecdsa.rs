@@ -42,7 +42,13 @@ fn sign_material(nonce_first: &[u8], nonce_second: &[u8], id: &[u8]) -> Vec<u8> 
 
 /// Builds the 96-byte extended finished blob: three HMAC tags under the
 /// session MAC key (transcript-binding, nonce-echo, key-confirmation).
-fn fin_blob(ks: &SessionKey, role: Role, nonce_a: &[u8], nonce_b: &[u8], trace: &mut OpTrace) -> Vec<u8> {
+fn fin_blob(
+    ks: &SessionKey,
+    role: Role,
+    nonce_a: &[u8],
+    nonce_b: &[u8],
+    trace: &mut OpTrace,
+) -> Vec<u8> {
     let key = ks.mac_key();
     let role_tag: &[u8] = match role {
         Role::Initiator => b"A-fin",
@@ -185,7 +191,14 @@ impl SEcdsaInitiator {
         let nonce_b = self.peer_nonce.ok_or(ProtocolError::UnexpectedMessage)?;
         if self.extended {
             let fin = msg.field(FieldKind::Fin)?;
-            verify_fin(&ks, Role::Responder, &self.nonce, &nonce_b, fin, &mut self.trace)?;
+            verify_fin(
+                &ks,
+                Role::Responder,
+                &self.nonce,
+                &nonce_b,
+                fin,
+                &mut self.trace,
+            )?;
             let own_fin = fin_blob(&ks, Role::Initiator, &self.nonce, &nonce_b, &mut self.trace);
             self.state = InitState::Established;
             return Ok(Some(Message::new(
@@ -325,7 +338,10 @@ impl SEcdsaResponder {
         let sig_a = Signature::from_bytes(msg.field(FieldKind::Signature)?)
             .map_err(|_| ProtocolError::AuthenticationFailed)?;
 
-        let claimed = self.peer_id.as_deref().ok_or(ProtocolError::UnexpectedMessage)?;
+        let claimed = self
+            .peer_id
+            .as_deref()
+            .ok_or(ProtocolError::UnexpectedMessage)?;
         if cert_a.subject.as_bytes() != claimed {
             return Err(ProtocolError::AuthenticationFailed);
         }
@@ -372,7 +388,14 @@ impl SEcdsaResponder {
         let ks = self.session.ok_or(ProtocolError::UnexpectedMessage)?;
         let nonce_a = self.peer_nonce.ok_or(ProtocolError::UnexpectedMessage)?;
         let nonce_b = self.nonce.ok_or(ProtocolError::UnexpectedMessage)?;
-        verify_fin(&ks, Role::Initiator, &nonce_a, &nonce_b, fin, &mut self.trace)?;
+        verify_fin(
+            &ks,
+            Role::Initiator,
+            &nonce_a,
+            &nonce_b,
+            fin,
+            &mut self.trace,
+        )?;
         self.state = RespState::Established;
         Ok(None)
     }
@@ -461,9 +484,15 @@ mod tests {
     fn extended_handshake_traces_mac_work() {
         let (a, b, mut rng) = setup(224);
         let out = crate::establish_s_ecdsa(&a, &b, 0, true, &mut rng).unwrap();
-        let a_macs = out.transcript.trace(Role::Initiator).count_op(PrimitiveOp::MacTag);
+        let a_macs = out
+            .transcript
+            .trace(Role::Initiator)
+            .count_op(PrimitiveOp::MacTag);
         assert_eq!(a_macs, 3); // one Fin blob
-        let b_macs = out.transcript.trace(Role::Responder).count_op(PrimitiveOp::MacTag);
+        let b_macs = out
+            .transcript
+            .trace(Role::Responder)
+            .count_op(PrimitiveOp::MacTag);
         assert_eq!(b_macs, 3);
     }
 

@@ -60,9 +60,7 @@ fn bench_curve(c: &mut Criterion) {
     g.bench_function("base_mul", |b| {
         b.iter(|| ecq_p256::point::mul_generator(black_box(&k)))
     });
-    g.bench_function("point_mul", |b| {
-        b.iter(|| peer.public.mul(black_box(&k)))
-    });
+    g.bench_function("point_mul", |b| b.iter(|| peer.public.mul(black_box(&k))));
     g.bench_function("ecdh", |b| {
         b.iter(|| ecdh::shared_secret(&kp.private, black_box(&peer.public)).unwrap())
     });
@@ -115,7 +113,10 @@ fn bench_ecqv(c: &mut Criterion) {
         })
     });
     g.bench_function("key_reconstruction_subject", |b| {
-        b.iter(|| req.reconstruct(black_box(&issued), &ca.public_key()).unwrap())
+        b.iter(|| {
+            req.reconstruct(black_box(&issued), &ca.public_key())
+                .unwrap()
+        })
     });
     g.bench_function("public_key_reconstruction_eq1", |b| {
         b.iter(|| {

@@ -58,8 +58,14 @@ fn main() {
     // KCI.
     {
         let mut d = TestDeployment::new(1006);
-        println!("[KCI] SCIANC with victim's leaked key: {:?}", kci::scianc_kci(&mut d));
+        println!(
+            "[KCI] SCIANC with victim's leaked key: {:?}",
+            kci::scianc_kci(&mut d)
+        );
         let mut d = TestDeployment::new(1007);
-        println!("[KCI] STS with victim's leaked key:    {:?}", kci::sts_kci(&mut d));
+        println!(
+            "[KCI] STS with victim's leaked key:    {:?}",
+            kci::sts_kci(&mut d)
+        );
     }
 }

@@ -22,7 +22,11 @@ fn main() {
             bar(*value, max, 46)
         );
     }
-    let sts = rows.iter().find(|(k, _)| *k == ProtocolKind::Sts).unwrap().1;
+    let sts = rows
+        .iter()
+        .find(|(k, _)| *k == ProtocolKind::Sts)
+        .unwrap()
+        .1;
     let se = rows
         .iter()
         .find(|(k, _)| *k == ProtocolKind::SEcdsa)
@@ -34,7 +38,10 @@ fn main() {
         .unwrap()
         .1;
     println!("\nObservations reproduced from the paper:");
-    println!(" • STS is the slowest full variant (+{:.1} % over S-ECDSA)", (sts / se - 1.0) * 100.0);
+    println!(
+        " • STS is the slowest full variant (+{:.1} % over S-ECDSA)",
+        (sts / se - 1.0) * 100.0
+    );
     println!(" • STS opt. II beats S-ECDSA ({:.2} vs {:.2} ms)", opt2, se);
     println!(" • the non-EC-authentication baselines (SCIANC, PORAMB) are fastest");
 }

@@ -30,7 +30,9 @@ fn main() {
         .map(|k| {
             (
                 *k,
-                run_protocol(*k, &alice, &bob, &mut rng).expect("handshake").0,
+                run_protocol(*k, &alice, &bob, &mut rng)
+                    .expect("handshake")
+                    .0,
             )
         })
         .collect();

@@ -34,7 +34,5 @@ fn main() {
             }
         );
     }
-    println!(
-        "(STS opt. I/II transmit identical data to STS — §V-B of the paper.)"
-    );
+    println!("(STS opt. I/II transmit identical data to STS — §V-B of the paper.)");
 }

@@ -134,11 +134,12 @@ impl SecureChannel {
         let counter = self.next_counter;
         self.next_counter += 1;
         let mut ciphertext = payload.to_vec();
-        aes128_ctr_apply(&self.key.enc_key(), &Self::nonce_for(counter), &mut ciphertext);
-        let tag = hmac_sha256_concat(
-            &self.key.mac_key(),
-            &[&counter.to_be_bytes(), &ciphertext],
+        aes128_ctr_apply(
+            &self.key.enc_key(),
+            &Self::nonce_for(counter),
+            &mut ciphertext,
         );
+        let tag = hmac_sha256_concat(&self.key.mac_key(), &[&counter.to_be_bytes(), &ciphertext]);
         let mut mac = [0u8; FRAME_MAC_LEN];
         mac.copy_from_slice(&tag[..FRAME_MAC_LEN]);
         SecureFrame {

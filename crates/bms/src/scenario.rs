@@ -7,9 +7,7 @@ use ecq_cert::DeviceId;
 use ecq_crypto::HmacDrbg;
 use ecq_devices::timing::{integrate, pipelined_phases};
 use ecq_devices::{DevicePreset, DeviceProfile, PhaseTimes};
-use ecq_proto::{
-    Credentials, Endpoint, Message, ProtocolError, ProtocolKind, SessionKey,
-};
+use ecq_proto::{Credentials, Endpoint, Message, ProtocolError, ProtocolKind, SessionKey};
 use ecq_simnet::app::AppMessage;
 use ecq_simnet::canfd::BitTiming;
 use ecq_simnet::isotp::{transfer_time_ns, IsoTpConfig};
@@ -107,7 +105,9 @@ impl BmsScenario {
             ProtocolKind::SEcdsa | ProtocolKind::SEcdsaExt => {
                 let ext = kind == ProtocolKind::SEcdsaExt;
                 (
-                    Box::new(s_ecdsa::SEcdsaInitiator::new(bms, self.now, ext, &mut rng_a)),
+                    Box::new(s_ecdsa::SEcdsaInitiator::new(
+                        bms, self.now, ext, &mut rng_a,
+                    )),
                     Box::new(s_ecdsa::SEcdsaResponder::new(
                         evcc, self.now, ext, &mut rng_b,
                     )),
@@ -150,10 +150,10 @@ impl BmsScenario {
         let session_id = 0x0001;
 
         let charge = |timeline: &mut Timeline,
-                          endpoint: &dyn Endpoint,
-                          traced: &mut usize,
-                          actor: &str,
-                          label: &str| {
+                      endpoint: &dyn Endpoint,
+                      traced: &mut usize,
+                      actor: &str,
+                      label: &str| {
             let entries = endpoint.trace().entries();
             let delta = &entries[*traced..];
             *traced = entries.len();

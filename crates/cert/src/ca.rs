@@ -107,14 +107,8 @@ impl CertificateAuthority {
             if p_u.infinity {
                 continue; // R_U = -kG; resample
             }
-            let certificate = ImplicitCert::new(
-                serial,
-                self.id,
-                request.subject,
-                valid_from,
-                valid_to,
-                &p_u,
-            );
+            let certificate =
+                ImplicitCert::new(serial, self.id, request.subject, valid_from, valid_to, &p_u);
             let e = cert_hash(&certificate);
             if e.is_zero() {
                 continue;

@@ -20,12 +20,7 @@ impl core::fmt::Debug for DeviceId {
 impl core::fmt::Display for DeviceId {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         // Render printable label prefixes directly, else hex.
-        let trimmed: Vec<u8> = self
-            .0
-            .iter()
-            .copied()
-            .take_while(|&b| b != 0)
-            .collect();
+        let trimmed: Vec<u8> = self.0.iter().copied().take_while(|&b| b != 0).collect();
         if !trimmed.is_empty() && trimmed.iter().all(|b| b.is_ascii_graphic()) {
             write!(f, "{}", String::from_utf8_lossy(&trimmed))
         } else {

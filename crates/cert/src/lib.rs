@@ -50,8 +50,8 @@ pub mod requester;
 pub mod revocation;
 
 pub use certificate::{ImplicitCert, CERT_LEN};
-pub use revocation::RevocationList;
 pub use id::DeviceId;
+pub use revocation::RevocationList;
 
 use ecq_p256::point::AffinePoint;
 use ecq_p256::scalar::Scalar;

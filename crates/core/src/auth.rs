@@ -144,7 +144,14 @@ mod tests {
         let xg_a = [1u8; 64];
         let xg_b = [2u8; 64];
         let mut trace = OpTrace::new();
-        let resp = auth_response(&ks(), &c.keys.private, &xg_a, &xg_b, DIR_INITIATOR, &mut trace);
+        let resp = auth_response(
+            &ks(),
+            &c.keys.private,
+            &xg_a,
+            &xg_b,
+            DIR_INITIATOR,
+            &mut trace,
+        );
         verify_response(
             &ks(),
             &resp,
@@ -166,10 +173,24 @@ mod tests {
         let xg_a = [1u8; 64];
         let xg_b = [2u8; 64];
         let mut trace = OpTrace::new();
-        let resp = auth_response(&ks(), &c.keys.private, &xg_a, &xg_b, DIR_INITIATOR, &mut trace);
+        let resp = auth_response(
+            &ks(),
+            &c.keys.private,
+            &xg_a,
+            &xg_b,
+            DIR_INITIATOR,
+            &mut trace,
+        );
         let other_ks = SessionKey::derive(b"different", b"salt", b"test");
         assert!(verify_response(
-            &other_ks, &resp, &c.cert, &ca_pub, &xg_a, &xg_b, DIR_INITIATOR, &mut trace
+            &other_ks,
+            &resp,
+            &c.cert,
+            &ca_pub,
+            &xg_a,
+            &xg_b,
+            DIR_INITIATOR,
+            &mut trace
         )
         .is_err());
     }
@@ -182,10 +203,24 @@ mod tests {
         let xg_a = [1u8; 64];
         let xg_b = [2u8; 64];
         let mut trace = OpTrace::new();
-        let resp = auth_response(&ks(), &c.keys.private, &xg_a, &xg_b, DIR_INITIATOR, &mut trace);
+        let resp = auth_response(
+            &ks(),
+            &c.keys.private,
+            &xg_a,
+            &xg_b,
+            DIR_INITIATOR,
+            &mut trace,
+        );
         assert_eq!(
             verify_response(
-                &ks(), &resp, &c.cert, &ca_pub, &xg_b, &xg_a, DIR_INITIATOR, &mut trace
+                &ks(),
+                &resp,
+                &c.cert,
+                &ca_pub,
+                &xg_b,
+                &xg_a,
+                DIR_INITIATOR,
+                &mut trace
             )
             .unwrap_err(),
             ProtocolError::AuthenticationFailed
@@ -198,9 +233,23 @@ mod tests {
         let xg_a = [1u8; 64];
         let xg_b = [2u8; 64];
         let mut trace = OpTrace::new();
-        let resp = auth_response(&ks(), &c.keys.private, &xg_a, &xg_b, DIR_INITIATOR, &mut trace);
+        let resp = auth_response(
+            &ks(),
+            &c.keys.private,
+            &xg_a,
+            &xg_b,
+            DIR_INITIATOR,
+            &mut trace,
+        );
         assert!(verify_response(
-            &ks(), &resp, &c.cert, &ca_pub, &xg_a, &xg_b, DIR_RESPONDER, &mut trace
+            &ks(),
+            &resp,
+            &c.cert,
+            &ca_pub,
+            &xg_a,
+            &xg_b,
+            DIR_RESPONDER,
+            &mut trace
         )
         .is_err());
     }
@@ -211,14 +260,28 @@ mod tests {
         let xg_a = [1u8; 64];
         let xg_b = [2u8; 64];
         let mut trace = OpTrace::new();
-        let resp = auth_response(&ks(), &c.keys.private, &xg_a, &xg_b, DIR_INITIATOR, &mut trace);
+        let resp = auth_response(
+            &ks(),
+            &c.keys.private,
+            &xg_a,
+            &xg_b,
+            DIR_INITIATOR,
+            &mut trace,
+        );
         let mut cert = c.cert;
         cert.serial ^= 1;
         // Tampered cert ⇒ different hash ⇒ different implicit key ⇒
         // signature no longer verifies.
         assert_eq!(
             verify_response(
-                &ks(), &resp, &cert, &ca_pub, &xg_a, &xg_b, DIR_INITIATOR, &mut trace
+                &ks(),
+                &resp,
+                &cert,
+                &ca_pub,
+                &xg_a,
+                &xg_b,
+                DIR_INITIATOR,
+                &mut trace
             )
             .unwrap_err(),
             ProtocolError::AuthenticationFailed

@@ -45,7 +45,12 @@ pub struct KeyWrap {
 /// Direction byte for group-key wraps on the pairwise channel.
 const DIR_GROUP: u8 = 0x6B;
 
-fn wrap_key(ks: &SessionKey, epoch: u32, group_key: &[u8; GROUP_KEY_LEN], member: DeviceId) -> KeyWrap {
+fn wrap_key(
+    ks: &SessionKey,
+    epoch: u32,
+    group_key: &[u8; GROUP_KEY_LEN],
+    member: DeviceId,
+) -> KeyWrap {
     let mut wrapped = *group_key;
     ks.apply_stream(DIR_GROUP ^ (epoch as u8), &mut wrapped);
     let tag = hmac_sha256_concat(
@@ -199,7 +204,16 @@ mod tests {
     use super::*;
     use ecq_cert::ca::CertificateAuthority;
 
-    fn fleet(seed: u64, n: usize) -> (Credentials, Vec<Credentials>, Vec<SessionKey>, Vec<KeyWrap>, GroupSession) {
+    fn fleet(
+        seed: u64,
+        n: usize,
+    ) -> (
+        Credentials,
+        Vec<Credentials>,
+        Vec<SessionKey>,
+        Vec<KeyWrap>,
+        GroupSession,
+    ) {
         let mut rng = HmacDrbg::from_seed(seed);
         let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
         let coord =

@@ -91,7 +91,8 @@ impl StsInitiator {
             .record(StsPhase::Op2KeyDerivation, PrimitiveOp::EcdhDerive);
         let premaster = ecdh::shared_secret(&self.ephemeral.private, &xg_b)?;
         let salt = [self.xg_own.as_slice(), xg_b_bytes.as_slice()].concat();
-        self.trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
+        self.trace
+            .record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
         let ks = SessionKey::derive(&premaster, &salt, KDF_LABEL);
 
         // Op4 (+ the Op2 public-key reconstruction inside).

@@ -64,8 +64,8 @@ pub mod manager;
 pub mod responder;
 pub mod variant;
 
-pub use initiator::StsInitiator;
 pub use group::GroupSession;
+pub use initiator::StsInitiator;
 pub use manager::{RekeyPolicy, SessionManager};
 pub use responder::StsResponder;
 pub use variant::StsVariant;

@@ -131,10 +131,7 @@ impl SessionManager {
         if !self.local.cert.is_valid_at(now) || !self.peer.cert.is_valid_at(now) {
             return Err(ProtocolError::Cert(ecq_cert::CertError::Expired));
         }
-        let config = StsConfig {
-            now,
-            ..self.config
-        };
+        let config = StsConfig { now, ..self.config };
         let outcome: SessionOutcome = establish(&self.local, &self.peer, &config, &mut self.rng)?;
         self.key = Some(outcome.initiator_key);
         self.epoch = Some(EpochInfo {

@@ -73,7 +73,8 @@ impl StsResponder {
             .record(StsPhase::Op2KeyDerivation, PrimitiveOp::EcdhDerive);
         let premaster = ecdh::shared_secret(&x_b, &xg_a)?;
         let salt = [xg_a_bytes.as_slice(), xg_b_bytes.as_slice()].concat();
-        self.trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
+        self.trace
+            .record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
         let ks = SessionKey::derive(&premaster, &salt, KDF_LABEL);
 
         // Op3: Resp_B = E_KS(sign(Prk_B, XG_B ‖ XG_A)).
@@ -107,7 +108,10 @@ impl StsResponder {
         let cert_a = ImplicitCert::from_bytes(msg.field(FieldKind::Cert)?)?;
         let resp_a = msg.field(FieldKind::Response)?;
 
-        let claimed = self.peer_id.as_deref().ok_or(ProtocolError::UnexpectedMessage)?;
+        let claimed = self
+            .peer_id
+            .as_deref()
+            .ok_or(ProtocolError::UnexpectedMessage)?;
         if cert_a.subject.as_bytes() != claimed {
             return Err(ProtocolError::AuthenticationFailed);
         }

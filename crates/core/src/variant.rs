@@ -44,9 +44,7 @@ impl StsVariant {
         match self {
             StsVariant::Conventional => &[],
             StsVariant::OptimizationI => &[StsPhase::Op2KeyDerivation],
-            StsVariant::OptimizationII => {
-                &[StsPhase::Op2KeyDerivation, StsPhase::Op3SignEncrypt]
-            }
+            StsVariant::OptimizationII => &[StsPhase::Op2KeyDerivation, StsPhase::Op3SignEncrypt],
         }
     }
 

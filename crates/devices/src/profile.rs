@@ -61,9 +61,7 @@ impl DeviceProfile {
                 let blocks = (bytes + 9).div_ceil(64);
                 c.hash_block_ms * blocks as f64
             }
-            PrimitiveOp::RandomBytes { bytes } => {
-                c.rng32_ms * (bytes.div_ceil(32) as f64)
-            }
+            PrimitiveOp::RandomBytes { bytes } => c.rng32_ms * (bytes.div_ceil(32) as f64),
         }
     }
 }

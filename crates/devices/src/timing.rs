@@ -62,11 +62,7 @@ pub fn integrate(trace: &OpTrace, device: &DeviceProfile) -> PhaseTimes {
 ///   devices the saving is exactly one device's phase time (eqs.
 ///   (7)/(8)); for different devices the residual `|T_A − T_B|`
 ///   matches eq. (6).
-pub fn pair_total(
-    times_a: &PhaseTimes,
-    times_b: &PhaseTimes,
-    pipelined: &[StsPhase],
-) -> f64 {
+pub fn pair_total(times_a: &PhaseTimes, times_b: &PhaseTimes, pipelined: &[StsPhase]) -> f64 {
     let mut total = times_a.total() + times_b.total();
     for phase in pipelined {
         total -= times_a.phase(*phase).min(times_b.phase(*phase));
@@ -123,10 +119,19 @@ mod tests {
         t.record(StsPhase::Op1Request, PrimitiveOp::EphemeralKeyGen);
         t.record(StsPhase::Op2KeyDerivation, PrimitiveOp::EcdhDerive);
         t.record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-        t.record(StsPhase::Op2KeyDerivation, PrimitiveOp::PublicKeyReconstruction);
+        t.record(
+            StsPhase::Op2KeyDerivation,
+            PrimitiveOp::PublicKeyReconstruction,
+        );
         t.record(StsPhase::Op3SignEncrypt, PrimitiveOp::EcdsaSign);
-        t.record(StsPhase::Op3SignEncrypt, PrimitiveOp::AesEncrypt { blocks: 4 });
-        t.record(StsPhase::Op4DecryptVerify, PrimitiveOp::AesDecrypt { blocks: 4 });
+        t.record(
+            StsPhase::Op3SignEncrypt,
+            PrimitiveOp::AesEncrypt { blocks: 4 },
+        );
+        t.record(
+            StsPhase::Op4DecryptVerify,
+            PrimitiveOp::AesDecrypt { blocks: 4 },
+        );
         t.record(StsPhase::Op4DecryptVerify, PrimitiveOp::EcdsaVerify);
         t
     }

@@ -26,7 +26,11 @@ pub struct Signature {
 impl core::fmt::Debug for Signature {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let b = self.to_bytes();
-        write!(f, "Signature({:02x}{:02x}…{:02x}{:02x})", b[0], b[1], b[62], b[63])
+        write!(
+            f,
+            "Signature({:02x}{:02x}…{:02x}{:02x})",
+            b[0], b[1], b[62], b[63]
+        )
     }
 }
 
@@ -158,9 +162,7 @@ pub fn verify_prehashed(
     let u2 = sig.r.mul(&s_inv);
     let point = match strategy {
         VerifyStrategy::SeparateMuls => mul_generator(&u1).add(&public.mul(&u2)),
-        VerifyStrategy::Shamir => {
-            multi_scalar_mul(&u1, &AffinePoint::generator(), &u2, public)
-        }
+        VerifyStrategy::Shamir => multi_scalar_mul(&u1, &AffinePoint::generator(), &u2, public),
     };
     if point.infinity {
         return false;
@@ -171,9 +173,9 @@ pub fn verify_prehashed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::field::FieldElement;
     use crate::keys::KeyPair;
     use crate::u256::U256;
-    use crate::field::FieldElement;
 
     fn rfc6979_key() -> Scalar {
         Scalar::from_canonical(&U256::from_be_hex(
@@ -218,8 +220,18 @@ mod tests {
         let mut rng = HmacDrbg::from_seed(41);
         let kp = KeyPair::generate(&mut rng);
         let sig = sign(&kp.private, b"session transcript");
-        assert!(verify_with(&kp.public, b"session transcript", &sig, VerifyStrategy::SeparateMuls));
-        assert!(verify_with(&kp.public, b"session transcript", &sig, VerifyStrategy::Shamir));
+        assert!(verify_with(
+            &kp.public,
+            b"session transcript",
+            &sig,
+            VerifyStrategy::SeparateMuls
+        ));
+        assert!(verify_with(
+            &kp.public,
+            b"session transcript",
+            &sig,
+            VerifyStrategy::Shamir
+        ));
     }
 
     #[test]

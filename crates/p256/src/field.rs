@@ -206,10 +206,7 @@ mod tests {
 
     #[test]
     fn curve_b_constant() {
-        assert_eq!(
-            FieldElement::curve_b().to_canonical().to_string(),
-            B_HEX
-        );
+        assert_eq!(FieldElement::curve_b().to_canonical().to_string(), B_HEX);
     }
 
     #[test]

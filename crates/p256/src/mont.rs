@@ -277,7 +277,10 @@ mod tests {
         let a = U256::from_u64(5);
         let b = ctx.m.wrapping_sub(&U256::from_u64(3)); // -3 mod p
         assert_eq!(ctx.add(&a, &b), U256::from_u64(2));
-        assert_eq!(ctx.sub(&U256::from_u64(3), &U256::from_u64(5)), ctx.neg(&U256::from_u64(2)));
+        assert_eq!(
+            ctx.sub(&U256::from_u64(3), &U256::from_u64(5)),
+            ctx.neg(&U256::from_u64(2))
+        );
         assert_eq!(ctx.neg(&U256::ZERO), U256::ZERO);
         assert_eq!(ctx.add(&ctx.neg(&a), &a), U256::ZERO);
     }
@@ -317,8 +320,10 @@ mod tests {
     #[test]
     fn wide_reduction_matches_mul() {
         let ctx = MontCtx::new(p256_order());
-        let a = U256::from_be_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632550");
-        let b = U256::from_be_hex("00000000ffffffff00000000000000004319055258e8617b0c46353d039cdaaf");
+        let a =
+            U256::from_be_hex("ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632550");
+        let b =
+            U256::from_be_hex("00000000ffffffff00000000000000004319055258e8617b0c46353d039cdaaf");
         let wide = a.widening_mul(&b);
         assert_eq!(ctx.reduce_wide(&wide), ctx.mul(&a, &b));
     }
@@ -328,7 +333,10 @@ mod tests {
         let ctx = MontCtx::new(p256_prime());
         assert_eq!(ctx.reduce(&U256::ZERO), U256::ZERO);
         assert_eq!(ctx.reduce(&ctx.m), U256::ZERO);
-        assert_eq!(ctx.reduce(&ctx.m.wrapping_add(&U256::from_u64(7))), U256::from_u64(7));
+        assert_eq!(
+            ctx.reduce(&ctx.m.wrapping_add(&U256::from_u64(7))),
+            U256::from_u64(7)
+        );
         assert_eq!(ctx.reduce(&U256::from_u64(7)), U256::from_u64(7));
     }
 }

@@ -83,9 +83,7 @@ impl AffinePoint {
 
     /// Group addition (affine convenience; converts through Jacobian).
     pub fn add(&self, rhs: &AffinePoint) -> AffinePoint {
-        JacobianPoint::from_affine(self)
-            .add_affine(rhs)
-            .to_affine()
+        JacobianPoint::from_affine(self).add_affine(rhs).to_affine()
     }
 
     /// Scalar multiplication `k·self`.

@@ -36,7 +36,9 @@ impl U256 {
     /// The value 0.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value 1.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
     /// The maximum value, 2^256 − 1.
     pub const MAX: U256 = U256 {
         limbs: [u64::MAX; 4],
@@ -241,7 +243,8 @@ mod tests {
 
     #[test]
     fn be_bytes_roundtrip() {
-        let x = U256::from_be_hex("00112233445566778899aabbccddeeff0102030405060708090a0b0c0d0e0f10");
+        let x =
+            U256::from_be_hex("00112233445566778899aabbccddeeff0102030405060708090a0b0c0d0e0f10");
         assert_eq!(U256::from_be_bytes(&x.to_be_bytes()), x);
         assert_eq!(x.limbs()[0], 0x090a0b0c0d0e0f10);
         assert_eq!(x.limbs()[3], 0x0011223344556677);
@@ -255,7 +258,8 @@ mod tests {
 
     #[test]
     fn add_sub_roundtrip() {
-        let a = U256::from_be_hex("00112233445566778899aabbccddeeff0102030405060708090a0b0c0d0e0f10");
+        let a =
+            U256::from_be_hex("00112233445566778899aabbccddeeff0102030405060708090a0b0c0d0e0f10");
         let b = U256::from_u64(0xdeadbeef);
         let (sum, c) = a.adc(&b);
         assert!(!c);
@@ -309,20 +313,22 @@ mod tests {
 
     #[test]
     fn shifts() {
-        let x = U256::from_be_hex("8000000000000000000000000000000000000000000000000000000000000001");
+        let x =
+            U256::from_be_hex("8000000000000000000000000000000000000000000000000000000000000001");
         let (shifted, carry) = x.shl1();
         assert!(carry);
+        assert_eq!(shifted, U256::from_u64(2));
         assert_eq!(
-            shifted,
-            U256::from_u64(2)
+            x.shr1().to_string(),
+            "4000000000000000000000000000000000000000000000000000000000000000"
         );
-        assert_eq!(x.shr1().to_string(), "4000000000000000000000000000000000000000000000000000000000000000");
     }
 
     #[test]
     fn ordering() {
         let small = U256::from_u64(5);
-        let big = U256::from_be_hex("0000000000000000000000000000000100000000000000000000000000000000");
+        let big =
+            U256::from_be_hex("0000000000000000000000000000000100000000000000000000000000000000");
         assert!(small < big);
         assert!(big > small);
         assert_eq!(small.cmp(&small), core::cmp::Ordering::Equal);

@@ -5,8 +5,8 @@
 //! 128-bit AES configuration) and a 16-byte MAC key for protocols that
 //! authenticate with symmetric tags.
 
-use ecq_crypto::hkdf::hkdf_sha256;
 use ecq_crypto::ctr::{aes128_ctr_apply, NONCE_LEN};
+use ecq_crypto::hkdf::hkdf_sha256;
 
 /// Length of the derived session secret in bytes.
 pub const SESSION_KEY_LEN: usize = 32;

@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn parameterized_ops_distinguished() {
         let mut t = OpTrace::new();
-        t.record(StsPhase::Op3SignEncrypt, PrimitiveOp::AesEncrypt { blocks: 4 });
+        t.record(
+            StsPhase::Op3SignEncrypt,
+            PrimitiveOp::AesEncrypt { blocks: 4 },
+        );
         assert_eq!(t.count_op(PrimitiveOp::AesEncrypt { blocks: 4 }), 1);
         assert_eq!(t.count_op(PrimitiveOp::AesEncrypt { blocks: 2 }), 0);
     }

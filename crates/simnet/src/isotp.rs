@@ -273,7 +273,9 @@ mod tests {
     #[test]
     fn multi_frame_roundtrip() {
         // The handshake message sizes of Table II, plus boundaries.
-        for len in [63usize, 64, 80, 101, 125, 126, 165, 197, 245, 427, 491, 820, 4095] {
+        for len in [
+            63usize, 64, 80, 101, 125, 126, 165, 197, 245, 427, 491, 820, 4095,
+        ] {
             roundtrip(len);
         }
     }

@@ -53,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("{:<14}{:<14}{:>10}{:>12}", "initiator", "responder", "epochs", "key fp");
+    println!(
+        "{:<14}{:<14}{:>10}{:>12}",
+        "initiator", "responder", "epochs", "key fp"
+    );
     let mut all_keys = Vec::new();
     for (a, b, mgr) in &mut managers {
         // Simulate a day: messages at t=0, t=300 (same epoch), t=700

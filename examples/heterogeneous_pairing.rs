@@ -41,9 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
-    println!(
-        "\nEq. (6) in action: the saving collapses when one device dwarfs the other —"
-    );
+    println!("\nEq. (6) in action: the saving collapses when one device dwarfs the other —");
     println!("pipelining only removes min(T_A, T_B) per overlapped operation.");
     Ok(())
 }

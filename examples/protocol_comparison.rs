@@ -16,8 +16,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let bob = Credentials::provision(&ca, DeviceId::from_label("bob"), 0, 3600, &mut rng)?;
 
     println!(
-        "{:<16}{:>8}{:>8}   {}",
-        "protocol", "steps", "bytes", "simulated pair time per device (ms)"
+        "{:<16}{:>8}{:>8}   simulated pair time per device (ms)",
+        "protocol", "steps", "bytes"
     );
     println!("{}", "-".repeat(100));
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, format, lint. CI runs exactly this
+# script; run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "OK: build, tests, fmt, clippy all green"

@@ -4,20 +4,26 @@
 //! ECQV Implicit Certificates in Embedded Systems"* (Basic, Steger,
 //! Kofler — DATE 2023) as a Rust workspace.
 //!
-//! This facade crate re-exports every layer; see the individual crates
-//! for the substance:
+//! This facade crate re-exports every layer under a short module name;
+//! the underlying workspace crates are all named `ecq_*` (note that
+//! `ecq_sts` builds from the `crates/core` directory):
 //!
-//! * [`crypto`] — SHA-256 / HMAC / HKDF / AES-128 / CMAC / HMAC-DRBG,
-//! * [`p256`] — the curve, ECDSA and ECDH from scratch,
-//! * [`cert`] — SEC4 ECQV implicit certificates,
-//! * [`proto`] — wire model, op traces, endpoint driver,
-//! * [`sts`] — **the paper's contribution**: STS dynamic key
-//!   derivation for ECQV architectures,
-//! * [`baselines`] — S-ECDSA, SCIANC, PORAMB comparison protocols,
-//! * [`devices`] — the four evaluation boards' cost models,
-//! * [`simnet`] — CAN-FD + ISO 15765-2 network simulation,
-//! * [`bms`] — the BMS↔EVCC automotive prototype,
-//! * [`analysis`] — threat model, Table III and executable attacks.
+//! * [`crypto`] (`ecq_crypto`) — SHA-256 / HMAC / HKDF / AES-128 /
+//!   CMAC / HMAC-DRBG,
+//! * [`p256`] (`ecq_p256`) — the curve, ECDSA and ECDH from scratch,
+//! * [`cert`] (`ecq_cert`) — SEC4 ECQV implicit certificates,
+//! * [`proto`] (`ecq_proto`) — wire model, op traces, endpoint driver,
+//! * [`sts`] (`ecq_sts`, from `crates/core`) — **the paper's
+//!   contribution**: STS dynamic key derivation for ECQV architectures,
+//! * [`baselines`] (`ecq_baselines`) — S-ECDSA, SCIANC, PORAMB
+//!   comparison protocols,
+//! * [`devices`] (`ecq_devices`) — the four evaluation boards' cost
+//!   models,
+//! * [`simnet`] (`ecq_simnet`) — CAN-FD + ISO 15765-2 network
+//!   simulation,
+//! * [`bms`] (`ecq_bms`) — the BMS↔EVCC automotive prototype,
+//! * [`analysis`] (`ecq_analysis`) — threat model, Table III and
+//!   executable attacks.
 //!
 //! # Quickstart
 //!

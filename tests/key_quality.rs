@@ -31,10 +31,7 @@ fn session_key_bits_are_balanced() {
         .sum();
     let ratio = ones as f64 / total_bits as f64;
     // 6144 fair coin flips: |ratio − 0.5| < 0.04 with overwhelming margin.
-    assert!(
-        (0.46..0.54).contains(&ratio),
-        "bit balance off: {ratio:.3}"
-    );
+    assert!((0.46..0.54).contains(&ratio), "bit balance off: {ratio:.3}");
 }
 
 #[test]

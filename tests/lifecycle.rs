@@ -52,8 +52,16 @@ fn renewal_rotates_certificates_and_static_keys() {
     assert_ne!(before, after);
 
     // Old and new certs interoperate with peers under the same CA.
-    let s = establish(&alice2, &bob, &StsConfig { now: 100, ..Default::default() }, &mut rng)
-        .expect("post-renewal handshake");
+    let s = establish(
+        &alice2,
+        &bob,
+        &StsConfig {
+            now: 100,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("post-renewal handshake");
     assert_eq!(s.initiator_key, s.responder_key);
 }
 
@@ -95,7 +103,10 @@ fn session_manager_survives_certificate_renewal_cycles() {
         alice2,
         bob2,
         policy,
-        StsConfig { now: 60, ..Default::default() },
+        StsConfig {
+            now: 60,
+            ..Default::default()
+        },
         HmacDrbg::from_seed(505),
     );
     let k3 = mgr2.key_for(60).unwrap();
