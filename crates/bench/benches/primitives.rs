@@ -57,8 +57,14 @@ fn bench_curve(c: &mut Criterion) {
     let peer = KeyPair::generate(&mut rng);
     let k = Scalar::random(&mut rng);
 
+    // Fixed-base table vs the generic window ladder the seed used for
+    // k·G — the ratio is the win of crates/p256/src/precomp.rs.
     g.bench_function("base_mul", |b| {
         b.iter(|| ecq_p256::point::mul_generator(black_box(&k)))
+    });
+    g.bench_function("base_mul_generic", |b| {
+        let g_pt = ecq_p256::point::AffinePoint::generator();
+        b.iter(|| g_pt.mul(black_box(&k)))
     });
     g.bench_function("point_mul", |b| b.iter(|| peer.public.mul(black_box(&k))));
     g.bench_function("ecdh", |b| {

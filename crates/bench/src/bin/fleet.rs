@@ -1,0 +1,106 @@
+//! Fleet throughput sweep: batch-enrolls and key-establishes a
+//! 1000-device fleet, reporting host wall-clock throughput plus the
+//! simulated per-board throughput from the cost models.
+//!
+//! ```sh
+//! cargo run --release --bin fleet
+//! ```
+
+use ecq_devices::DevicePreset;
+use ecq_fleet::{FleetConfig, FleetCoordinator};
+use std::time::Instant;
+
+const DEVICES: usize = 1000;
+const SHARDS: usize = 8;
+const BATCH: usize = 64;
+const EPOCHS: u32 = 2;
+
+fn main() {
+    println!("fleet sweep: {DEVICES} devices, {SHARDS} CA shards, batches of {BATCH}\n");
+
+    let mut fleet = FleetCoordinator::new(FleetConfig {
+        devices: DEVICES,
+        ca_shards: SHARDS,
+        enroll_batch: BATCH,
+        seed: 0xF1EE7,
+        ..FleetConfig::default()
+    });
+
+    let t = Instant::now();
+    fleet.enroll_all().expect("enrollment");
+    let enroll_wall = t.elapsed();
+    let t = Instant::now();
+    fleet.handshake_sweep().expect("handshakes");
+    let handshake_wall = t.elapsed();
+    let t = Instant::now();
+    fleet.run_epochs(EPOCHS).expect("rekey epochs");
+    let epoch_wall = t.elapsed();
+
+    let r = fleet.report().clone();
+    println!("host wall-clock (real cryptography, all boards interleaved):");
+    println!(
+        "  enrollment : {:8.0} enroll/s  ({} devices in {:.2?}, {} batches)",
+        r.enrolled as f64 / enroll_wall.as_secs_f64(),
+        r.enrolled,
+        enroll_wall,
+        r.enroll_batches,
+    );
+    println!(
+        "  handshakes : {:8.0} hs/s      ({} sessions in {:.2?})",
+        r.sessions as f64 / handshake_wall.as_secs_f64(),
+        r.sessions,
+        handshake_wall,
+    );
+    println!(
+        "  rekeys     : {:8.0} rekey/s   ({} rekeys over {} epochs in {:.2?})",
+        r.rekeys as f64 / epoch_wall.as_secs_f64(),
+        r.rekeys,
+        EPOCHS,
+        epoch_wall,
+    );
+
+    println!("\nsimulated fleet (mixed presets, cost-model virtual time):");
+    println!(
+        "  enrollment : {:8.1} enroll/s  (makespan {:.2} s across {} shards)",
+        r.enrollments_per_virtual_sec(),
+        r.enroll_makespan_us as f64 / 1e6,
+        r.shards,
+    );
+    println!(
+        "  handshakes : {:8.1} hs/s      (makespan {:.2} s, pairs concurrent)",
+        r.handshakes_per_virtual_sec(),
+        r.handshake_makespan_us as f64 / 1e6,
+    );
+
+    // Per-preset sweeps: a homogeneous fleet of each evaluation board.
+    println!("\nper-board simulated throughput ({DEVICES} devices, homogeneous fleet):");
+    println!(
+        "  {:<14}{:>16}{:>16}{:>12}",
+        "board", "enroll/s", "handshake/s", "rekeys"
+    );
+    for preset in DevicePreset::ALL {
+        let report = homogeneous_sweep(preset);
+        println!(
+            "  {:<14}{:>16.1}{:>16.2}{:>12}",
+            format!("{preset:?}"),
+            report.enrollments_per_virtual_sec(),
+            report.handshakes_per_virtual_sec(),
+            report.rekeys,
+        );
+    }
+}
+
+/// Runs the lifecycle on a fleet where every device simulates `preset`
+/// (the roster's round-robin is collapsed by overriding the presets).
+fn homogeneous_sweep(preset: DevicePreset) -> ecq_fleet::FleetReport {
+    let mut fleet = FleetCoordinator::new(FleetConfig {
+        devices: DEVICES,
+        ca_shards: SHARDS,
+        enroll_batch: BATCH,
+        seed: 0xF1EE7 ^ preset as u64,
+        ..FleetConfig::default()
+    });
+    fleet.set_preset_all(preset);
+    fleet.run_lifecycle(EPOCHS).expect("lifecycle");
+    fleet.report().clone()
+}

@@ -91,4 +91,42 @@ proptest! {
             cert.valid_from <= t && t <= cert.valid_to
         );
     }
+
+    #[test]
+    fn batch_issuance_is_byte_identical_to_sequential(
+        seed in any::<u64>(),
+        n in 1usize..12,
+        valid_from in 0u32..1000,
+        span in 1u32..100_000,
+    ) {
+        // The fleet enrollment path leans on this: issue_batch with a
+        // given RNG state must produce exactly the bytes (certificate
+        // and recon_private) of n sequential issue() calls.
+        let mut rng = HmacDrbg::from_seed(seed);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let requests: Vec<_> = (0..n)
+            .map(|i| {
+                CertRequester::generate(DeviceId::from_label(&format!("d{i}")), &mut rng)
+                    .request()
+            })
+            .collect();
+        let valid_to = valid_from + span;
+
+        let mut rng_batch = rng.clone();
+        let mut rng_seq = rng;
+        let batch = ca
+            .issue_batch(&requests, valid_from, valid_to, &mut rng_batch)
+            .unwrap();
+        prop_assert_eq!(batch.len(), n);
+        for (request, issued) in requests.iter().zip(&batch) {
+            let seq = ca.issue(request, valid_from, valid_to, &mut rng_seq).unwrap();
+            prop_assert_eq!(issued.certificate.to_bytes(), seq.certificate.to_bytes());
+            prop_assert_eq!(
+                issued.recon_private.to_be_bytes(),
+                seq.recon_private.to_be_bytes()
+            );
+        }
+        // Both paths consumed the identical RNG stream.
+        prop_assert_eq!(rng_batch.next_u64(), rng_seq.next_u64());
+    }
 }

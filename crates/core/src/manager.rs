@@ -63,6 +63,32 @@ pub struct EpochInfo {
 
 /// Manages a long-lived secure relationship between two devices over
 /// successive STS communication sessions.
+///
+/// # Example
+///
+/// Aged-out keys are replaced by a transparent fresh handshake:
+///
+/// ```
+/// use ecq_cert::{ca::CertificateAuthority, DeviceId};
+/// use ecq_crypto::HmacDrbg;
+/// use ecq_proto::Credentials;
+/// use ecq_sts::{RekeyPolicy, SessionManager, StsConfig};
+///
+/// let mut rng = HmacDrbg::from_seed(9);
+/// let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+/// let bms = Credentials::provision(&ca, DeviceId::from_label("BMS"), 0, 86_400, &mut rng)?;
+/// let evcc = Credentials::provision(&ca, DeviceId::from_label("EVCC"), 0, 86_400, &mut rng)?;
+///
+/// let policy = RekeyPolicy { max_age_secs: 600, max_messages: 1_000 };
+/// let mut mgr = SessionManager::new(bms, evcc, policy, StsConfig::default(), rng);
+///
+/// let k1 = mgr.key_for(0)?;    // first use runs the initial handshake
+/// assert_eq!(mgr.key_for(300)?, k1); // same epoch, same key
+/// let k2 = mgr.key_for(700)?;  // aged out: fresh STS handshake
+/// assert_ne!(k1, k2);
+/// assert_eq!(mgr.rekey_count(), 2);
+/// # Ok::<(), ecq_proto::ProtocolError>(())
+/// ```
 #[derive(Debug)]
 pub struct SessionManager {
     local: Credentials,

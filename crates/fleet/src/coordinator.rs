@@ -1,0 +1,526 @@
+//! The fleet coordinator: batch enrollment, concurrent handshakes and
+//! policy-driven rekey epochs over the deterministic scheduler.
+
+use crate::device::SimDevice;
+use crate::pool::CaPool;
+use crate::report::FleetReport;
+use crate::scheduler::{micros_from_ms, EventScheduler, VirtualTime};
+use crate::FleetError;
+use ecq_cert::requester::CertRequester;
+use ecq_crypto::HmacDrbg;
+use ecq_devices::{DevicePreset, DeviceProfile};
+use ecq_proto::{Credentials, ProtocolKind, SessionKey};
+use ecq_sts::{RekeyPolicy, SessionManager, StsConfig, StsVariant};
+
+/// Parameters of a fleet run. Everything — device count, sharding,
+/// batching, validity, rekey policy — is explicit so a `(config, seed)`
+/// pair fully determines the run.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Devices in the roster.
+    pub devices: usize,
+    /// Independent CA shards provisioning the roster.
+    pub ca_shards: usize,
+    /// Certificates per [`ecq_cert::ca::CertificateAuthority::issue_batch`] call.
+    pub enroll_batch: usize,
+    /// Certificate validity start (deployment seconds).
+    pub valid_from: u32,
+    /// Certificate validity end (deployment seconds).
+    pub valid_to: u32,
+    /// Rekey policy every pair session runs under.
+    pub rekey: RekeyPolicy,
+    /// STS execution-schedule variant.
+    pub variant: StsVariant,
+    /// Master seed; all shard, device and session DRBGs derive from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    /// 1024 devices over 4 shards, 64-certificate batches, one-day
+    /// certificates, hourly/10k-message rekey.
+    fn default() -> Self {
+        FleetConfig {
+            devices: 1024,
+            ca_shards: 4,
+            enroll_batch: 64,
+            valid_from: 0,
+            valid_to: 86_400,
+            rekey: RekeyPolicy::default(),
+            variant: StsVariant::Conventional,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// One managed pair session between two enrolled devices of the same
+/// shard.
+pub struct PairSession {
+    /// Roster index of the initiating device.
+    pub a: usize,
+    /// Roster index of the responding device.
+    pub b: usize,
+    manager: SessionManager,
+    last_key: Option<SessionKey>,
+}
+
+impl PairSession {
+    /// Completed handshakes of this session.
+    pub fn rekey_count(&self) -> u64 {
+        self.manager.rekey_count()
+    }
+
+    /// The most recent session key, once established.
+    pub fn last_key(&self) -> Option<&SessionKey> {
+        self.last_key.as_ref()
+    }
+}
+
+enum EnrollEvent {
+    /// The shard's CA starts its next `issue_batch`.
+    Batch { shard: usize },
+}
+
+enum SessionEvent {
+    Handshake { session: usize },
+    RekeyTick { session: usize },
+}
+
+/// Drives N simulated devices through the full paper lifecycle —
+/// sharded batch ECQV enrollment, concurrent STS establishment,
+/// policy-driven rekey epochs — on a virtual timeline.
+///
+/// # Example
+///
+/// ```
+/// use ecq_fleet::{FleetConfig, FleetCoordinator};
+///
+/// let config = FleetConfig { devices: 16, ca_shards: 2, ..FleetConfig::default() };
+/// let mut fleet = FleetCoordinator::new(config);
+/// let report = fleet.run_lifecycle(2).unwrap();
+/// assert_eq!(report.enrolled, 16);
+/// assert!(report.rekeys > 0);
+/// ```
+pub struct FleetCoordinator {
+    config: FleetConfig,
+    pool: CaPool,
+    devices: Vec<SimDevice>,
+    device_seeds: Vec<[u8; 32]>,
+    shard_rngs: Vec<HmacDrbg>,
+    session_rng: HmacDrbg,
+    sessions: Vec<PairSession>,
+    gateway: DeviceProfile,
+    report: FleetReport,
+}
+
+impl FleetCoordinator {
+    /// Builds the roster and CA pool; no work happens until
+    /// [`Self::enroll_all`].
+    pub fn new(config: FleetConfig) -> Self {
+        let mut master = HmacDrbg::from_seed(config.seed);
+        let pool = CaPool::new(config.ca_shards, &mut master);
+        let shard_rngs = (0..pool.shard_count())
+            .map(|_| HmacDrbg::new(&master.bytes32(), b"fleet-shard"))
+            .collect();
+        let mut devices = Vec::with_capacity(config.devices);
+        let mut device_seeds = Vec::with_capacity(config.devices);
+        for i in 0..config.devices {
+            let mut device = SimDevice::new(i, 0);
+            device.shard = pool.shard_for(&device.id);
+            devices.push(device);
+            device_seeds.push(master.bytes32());
+        }
+        let mut report = FleetReport {
+            devices: config.devices,
+            shards: pool.shard_count(),
+            ..FleetReport::default()
+        };
+        for d in &devices {
+            *report.per_preset.entry(d.preset).or_insert(0) += 1;
+        }
+        FleetCoordinator {
+            config,
+            pool,
+            devices,
+            device_seeds,
+            shard_rngs,
+            session_rng: HmacDrbg::new(&master.bytes32(), b"fleet-sessions"),
+            sessions: Vec::new(),
+            gateway: DevicePreset::RaspberryPi4.profile(),
+            report,
+        }
+    }
+
+    /// The device roster.
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Overrides every roster entry to simulate `preset` (homogeneous
+    /// fleet). Presets only drive the virtual cost model, so this is
+    /// safe at any point; call it before [`Self::enroll_all`] for the
+    /// makespans to be consistent across phases.
+    pub fn set_preset_all(&mut self, preset: DevicePreset) {
+        for d in &mut self.devices {
+            d.preset = preset;
+        }
+        self.report.per_preset.clear();
+        self.report.per_preset.insert(preset, self.devices.len());
+    }
+
+    /// The pair sessions created by [`Self::handshake_sweep`].
+    pub fn sessions(&self) -> &[PairSession] {
+        &self.sessions
+    }
+
+    /// The running report.
+    pub fn report(&self) -> &FleetReport {
+        &self.report
+    }
+
+    /// Virtual CA-side cost of issuing one certificate on the gateway:
+    /// the `k·G` blinding (keygen), the serial draw, and the two-block
+    /// certificate hash.
+    fn issue_cost_ms(&self) -> f64 {
+        let c = &self.gateway.costs;
+        c.keygen_ms + c.rng32_ms + 2.0 * c.hash_block_ms
+    }
+
+    /// Virtual device-side cost of finishing an enrollment on `preset`:
+    /// request keygen, eq. (1) public-key reconstruction, and the
+    /// `d_U·G` possession check.
+    fn reconstruct_cost_ms(preset: DevicePreset) -> f64 {
+        let c = preset.profile().costs;
+        2.0 * c.keygen_ms + c.recon_ms
+    }
+
+    /// Virtual duration of one STS handshake between two presets: the
+    /// paper's Table I pair time for the configured variant, gated by
+    /// the slower board.
+    fn handshake_cost_ms(&self, a: DevicePreset, b: DevicePreset) -> f64 {
+        let kind = match self.config.variant {
+            StsVariant::Conventional => ProtocolKind::Sts,
+            StsVariant::OptimizationI => ProtocolKind::StsOptI,
+            StsVariant::OptimizationII => ProtocolKind::StsOptII,
+        };
+        a.paper_table1(kind).max(b.paper_table1(kind))
+    }
+
+    /// Deployment-clock seconds corresponding to a virtual timestamp.
+    fn deploy_secs(&self, at: VirtualTime) -> u32 {
+        self.config
+            .valid_from
+            .saturating_add((at / 1_000_000) as u32)
+    }
+
+    /// Batch-enrolls every device against its CA shard.
+    ///
+    /// Shards run concurrently on the virtual timeline; within a shard
+    /// the CA serializes `issue_batch` calls of `enroll_batch`
+    /// certificates each. A device's enrollment completes when its
+    /// batch is issued *and* the device finished its own key
+    /// reconstruction (concurrent across devices).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Cert`] when issuance or reconstruction fails
+    /// (impossible for well-formed rosters).
+    pub fn enroll_all(&mut self) -> Result<(), FleetError> {
+        // Shard worklists in roster order.
+        let mut worklists: Vec<Vec<usize>> = vec![Vec::new(); self.pool.shard_count()];
+        for d in &self.devices {
+            worklists[d.shard].push(d.index);
+        }
+        let mut cursors = vec![0usize; worklists.len()];
+        let mut scheduler = EventScheduler::new();
+        for (shard, list) in worklists.iter().enumerate() {
+            if !list.is_empty() {
+                scheduler.schedule_at(0, EnrollEvent::Batch { shard });
+            }
+        }
+        let per_cert_us = micros_from_ms(self.issue_cost_ms());
+        let mut makespan: VirtualTime = 0;
+        while let Some((at, EnrollEvent::Batch { shard })) = scheduler.next_event() {
+            let list = &worklists[shard];
+            let start = cursors[shard];
+            let end = (start + self.config.enroll_batch.max(1)).min(list.len());
+            let chunk = &list[start..end];
+            cursors[shard] = end;
+
+            // Device side: fresh request secrets from per-device DRBGs.
+            let requesters: Vec<CertRequester> = chunk
+                .iter()
+                .map(|&i| {
+                    let mut rng = HmacDrbg::new(&self.device_seeds[i], b"fleet-requester");
+                    CertRequester::generate(self.devices[i].id, &mut rng)
+                })
+                .collect();
+            let requests: Vec<_> = requesters.iter().map(|r| r.request()).collect();
+
+            // CA side: one amortized batch issuance.
+            let ca = self.pool.shard(shard);
+            let issued = ca.issue_batch(
+                &requests,
+                self.config.valid_from,
+                self.config.valid_to,
+                &mut self.shard_rngs[shard],
+            )?;
+            let ca_done = at + per_cert_us * chunk.len() as VirtualTime;
+
+            for ((&i, requester), cert) in chunk.iter().zip(&requesters).zip(&issued) {
+                let keys = requester.reconstruct(cert, &ca.public_key())?;
+                self.devices[i].credentials = Some(Credentials {
+                    id: self.devices[i].id,
+                    cert: cert.certificate,
+                    keys,
+                    ca_public: ca.public_key(),
+                });
+                let device_done =
+                    ca_done + micros_from_ms(Self::reconstruct_cost_ms(self.devices[i].preset));
+                makespan = makespan.max(device_done);
+                self.report.enrolled += 1;
+            }
+            self.report.enroll_batches += 1;
+            if cursors[shard] < list.len() {
+                scheduler.schedule_at(ca_done, EnrollEvent::Batch { shard });
+            }
+        }
+        self.report.enroll_makespan_us = makespan;
+        Ok(())
+    }
+
+    /// Pairs consecutive enrolled devices within each shard and runs
+    /// every pair's first STS establishment concurrently.
+    ///
+    /// Pairing stays intra-shard because the shards are independent
+    /// trust roots: a cross-shard handshake would (correctly) fail
+    /// authentication.
+    ///
+    /// Runs once per coordinator; subsequent re-establishments happen
+    /// through [`Self::run_epochs`], not by sweeping again.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Protocol`] when a handshake fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called a second time (the pair sessions already
+    /// exist and a second sweep would double-count them).
+    pub fn handshake_sweep(&mut self) -> Result<(), FleetError> {
+        assert!(
+            self.sessions.is_empty(),
+            "handshake_sweep runs once per coordinator"
+        );
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.pool.shard_count()];
+        for d in &self.devices {
+            if d.is_enrolled() {
+                by_shard[d.shard].push(d.index);
+            }
+        }
+        for list in &by_shard {
+            for pair in list.chunks_exact(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let manager = SessionManager::new(
+                    self.devices[a].credentials.clone().expect("enrolled"),
+                    self.devices[b].credentials.clone().expect("enrolled"),
+                    self.config.rekey,
+                    StsConfig {
+                        now: self.config.valid_from,
+                        variant: self.config.variant,
+                    },
+                    HmacDrbg::new(&self.session_rng.bytes32(), b"fleet-pair"),
+                );
+                self.sessions.push(PairSession {
+                    a,
+                    b,
+                    manager,
+                    last_key: None,
+                });
+            }
+        }
+        self.report.sessions = self.sessions.len();
+        let mut scheduler = EventScheduler::new();
+        for s in 0..self.sessions.len() {
+            scheduler.schedule_at(0, SessionEvent::Handshake { session: s });
+        }
+        let mut makespan: VirtualTime = 0;
+        while let Some((at, event)) = scheduler.next_event() {
+            let SessionEvent::Handshake { session } = event else {
+                continue;
+            };
+            let now = self.deploy_secs(at);
+            let key = self.sessions[session].manager.key_for(now)?;
+            self.sessions[session].last_key = Some(key);
+            self.report.handshakes += 1;
+            let (pa, pb) = (
+                self.devices[self.sessions[session].a].preset,
+                self.devices[self.sessions[session].b].preset,
+            );
+            makespan = makespan.max(at + micros_from_ms(self.handshake_cost_ms(pa, pb)));
+        }
+        self.report.handshake_makespan_us = makespan;
+        Ok(())
+    }
+
+    /// Runs `epochs` policy-driven rekey rounds: every session gets a
+    /// tick each [`RekeyPolicy::max_age_secs`], and the manager
+    /// transparently re-establishes when the key has aged out.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Protocol`] when a rekey handshake fails (e.g. the
+    /// certificates expired before the last epoch).
+    pub fn run_epochs(&mut self, epochs: u32) -> Result<(), FleetError> {
+        let mut scheduler = EventScheduler::new();
+        let age_us = self.config.rekey.max_age_secs as VirtualTime * 1_000_000;
+        for epoch in 1..=epochs as VirtualTime {
+            for s in 0..self.sessions.len() {
+                scheduler.schedule_at(epoch * age_us, SessionEvent::RekeyTick { session: s });
+            }
+        }
+        let mut end: VirtualTime = 0;
+        while let Some((at, event)) = scheduler.next_event() {
+            let SessionEvent::RekeyTick { session } = event else {
+                continue;
+            };
+            let now = self.deploy_secs(at);
+            let before = self.sessions[session].manager.rekey_count();
+            let key = self.sessions[session].manager.key_for(now)?;
+            self.sessions[session].last_key = Some(key);
+            if self.sessions[session].manager.rekey_count() > before {
+                self.report.rekeys += 1;
+                self.report.handshakes += 1;
+                let (pa, pb) = (
+                    self.devices[self.sessions[session].a].preset,
+                    self.devices[self.sessions[session].b].preset,
+                );
+                end = end.max(at + micros_from_ms(self.handshake_cost_ms(pa, pb)));
+            } else {
+                end = end.max(at);
+            }
+        }
+        self.report.epoch_end_us = end;
+        Ok(())
+    }
+
+    /// Convenience driver: enrollment, handshake sweep, then `epochs`
+    /// rekey rounds. Returns the final report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any phase failure.
+    pub fn run_lifecycle(&mut self, epochs: u32) -> Result<FleetReport, FleetError> {
+        self.enroll_all()?;
+        self.handshake_sweep()?;
+        self.run_epochs(epochs)?;
+        Ok(self.report.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            devices: 24,
+            ca_shards: 3,
+            enroll_batch: 5,
+            seed: 0xABCD,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn enrollment_covers_every_device() {
+        let mut fleet = FleetCoordinator::new(small_config());
+        fleet.enroll_all().unwrap();
+        assert_eq!(fleet.report().enrolled, 24);
+        assert!(fleet.devices().iter().all(|d| d.is_enrolled()));
+        assert!(fleet.report().enroll_makespan_us > 0);
+        // 24 devices over 3 shards in batches of ≤5 needs ≥ 5 batches.
+        assert!(fleet.report().enroll_batches >= 5);
+        for d in fleet.devices() {
+            let creds = d.credentials.as_ref().unwrap();
+            assert!(creds.keys.is_consistent());
+            assert_eq!(creds.cert.subject, d.id);
+            // Each device's certificate chains to its own shard's CA.
+            assert_eq!(creds.ca_public, fleet.pool.shard(d.shard).public_key());
+        }
+    }
+
+    #[test]
+    fn handshakes_agree_within_shards_with_distinct_keys() {
+        let mut fleet = FleetCoordinator::new(small_config());
+        fleet.enroll_all().unwrap();
+        fleet.handshake_sweep().unwrap();
+        assert!(!fleet.sessions().is_empty());
+        assert_eq!(fleet.report().handshakes, fleet.sessions().len());
+        let mut keys: Vec<[u8; 32]> = fleet
+            .sessions()
+            .iter()
+            .map(|s| *s.last_key().unwrap().as_bytes())
+            .collect();
+        let n = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), n, "every pair derives an independent key");
+        for s in fleet.sessions() {
+            assert_eq!(fleet.devices[s.a].shard, fleet.devices[s.b].shard);
+            assert_eq!(s.rekey_count(), 1);
+        }
+    }
+
+    #[test]
+    fn epochs_rekey_every_session() {
+        let mut fleet = FleetCoordinator::new(small_config());
+        let report = fleet.run_lifecycle(3).unwrap();
+        let sessions = fleet.sessions().len();
+        assert_eq!(report.rekeys, 3 * sessions as u64);
+        assert_eq!(report.handshakes, 4 * sessions);
+        for s in fleet.sessions() {
+            assert_eq!(s.rekey_count(), 4); // initial + 3 aged epochs
+        }
+        assert!(report.epoch_end_us > report.handshake_makespan_us);
+    }
+
+    #[test]
+    fn runs_are_reproducible_from_the_seed() {
+        let run = |seed| {
+            let mut fleet = FleetCoordinator::new(FleetConfig {
+                seed,
+                ..small_config()
+            });
+            fleet.run_lifecycle(1).unwrap();
+            let keys: Vec<[u8; 32]> = fleet
+                .sessions()
+                .iter()
+                .map(|s| *s.last_key().unwrap().as_bytes())
+                .collect();
+            (fleet.report().enroll_makespan_us, keys)
+        };
+        let (t1, k1) = run(7);
+        let (t2, k2) = run(7);
+        assert_eq!(t1, t2);
+        assert_eq!(k1, k2);
+        let (_, k3) = run(8);
+        assert_ne!(k1, k3, "different seed must derive different keys");
+    }
+
+    #[test]
+    fn sharding_speeds_up_virtual_enrollment() {
+        let run = |shards| {
+            let mut fleet = FleetCoordinator::new(FleetConfig {
+                devices: 32,
+                ca_shards: shards,
+                enroll_batch: 4,
+                seed: 1,
+                ..FleetConfig::default()
+            });
+            fleet.enroll_all().unwrap();
+            fleet.report().enroll_makespan_us
+        };
+        // More gateways working concurrently ⇒ shorter virtual makespan.
+        assert!(run(4) < run(1));
+    }
+}

@@ -1,0 +1,76 @@
+//! Aggregated results of a fleet run.
+
+use crate::scheduler::VirtualTime;
+use ecq_devices::DevicePreset;
+use std::collections::BTreeMap;
+
+/// Counters and simulated-time totals for one fleet lifecycle.
+///
+/// All times are *virtual*: they come from the `ecq_devices` cost
+/// models integrated by the event scheduler, not from the host clock,
+/// so two runs with the same seed produce the same report. Wall-clock
+/// throughput of the host is measured separately by the `fleet` bench
+/// binary.
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// Devices in the roster.
+    pub devices: usize,
+    /// CA shards provisioning the roster.
+    pub shards: usize,
+    /// Devices that completed ECQV enrollment.
+    pub enrolled: usize,
+    /// `issue_batch` calls that served those enrollments.
+    pub enroll_batches: usize,
+    /// Virtual makespan of the enrollment phase in microseconds
+    /// (shards work concurrently; this is the slowest shard's total).
+    pub enroll_makespan_us: VirtualTime,
+    /// Pair sessions created by the handshake sweep.
+    pub sessions: usize,
+    /// Completed STS handshakes (initial establishments + rekeys).
+    pub handshakes: usize,
+    /// Rekeys beyond each session's initial establishment.
+    pub rekeys: u64,
+    /// Virtual makespan of the initial handshake sweep in microseconds
+    /// (pairs run concurrently).
+    pub handshake_makespan_us: VirtualTime,
+    /// Virtual time at the end of the rekey-epoch phase, microseconds.
+    pub epoch_end_us: VirtualTime,
+    /// Enrolled devices per evaluation board.
+    pub per_preset: BTreeMap<DevicePreset, usize>,
+}
+
+impl FleetReport {
+    /// Enrollments per simulated second of CA-gateway time.
+    pub fn enrollments_per_virtual_sec(&self) -> f64 {
+        per_sec(self.enrolled, self.enroll_makespan_us)
+    }
+
+    /// Initial handshakes per simulated second.
+    pub fn handshakes_per_virtual_sec(&self) -> f64 {
+        per_sec(self.sessions, self.handshake_makespan_us)
+    }
+}
+
+fn per_sec(count: usize, span_us: VirtualTime) -> f64 {
+    if span_us == 0 {
+        return 0.0;
+    }
+    count as f64 / (span_us as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_handles_empty_runs() {
+        let r = FleetReport::default();
+        assert_eq!(r.enrollments_per_virtual_sec(), 0.0);
+        let r = FleetReport {
+            enrolled: 500,
+            enroll_makespan_us: 2_000_000,
+            ..FleetReport::default()
+        };
+        assert!((r.enrollments_per_virtual_sec() - 250.0).abs() < 1e-9);
+    }
+}

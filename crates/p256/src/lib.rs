@@ -13,6 +13,8 @@
 //! * [`scalar`] — arithmetic mod `n`, the group order,
 //! * [`point`] — affine/Jacobian group operations and scalar
 //!   multiplication (4-bit window; Shamir's trick for double mults),
+//! * [`precomp`] — the fixed-base window table behind
+//!   [`point::mul_generator`] (no doublings per `k·G`),
 //! * [`encoding`] — SEC1 point (de)compression,
 //! * [`ecdsa`] — deterministic (RFC 6979) and randomized ECDSA,
 //! * [`ecdh`] — Diffie–Hellman: the static `Sk = Prk_a·Puk_b` of §II-A
@@ -43,6 +45,7 @@ pub mod field;
 pub mod keys;
 pub mod mont;
 pub mod point;
+pub mod precomp;
 pub mod rfc6979;
 pub mod scalar;
 pub mod u256;

@@ -3,6 +3,8 @@
 //! Points are manipulated in Jacobian coordinates (`x = X/Z²`,
 //! `y = Y/Z³`) with `a = −3` folded into the doubling formula, exactly
 //! as micro-ecc does. Scalar multiplication uses a 4-bit fixed window;
+//! [`mul_generator`] goes through the precomputed fixed-base table of
+//! [`crate::precomp`] instead (no doublings per call), and
 //! [`multi_scalar_mul`] implements Shamir's trick for the
 //! `u1·G + u2·Q` of ECDSA verification (an ablation toggle in the
 //! benchmarks — micro-ecc itself performs two separate multiplications).
@@ -289,8 +291,69 @@ impl PartialEq for JacobianPoint {
 impl Eq for JacobianPoint {}
 
 /// `k·G` — multiplication of the generator.
+///
+/// Uses the precomputed fixed-base table of [`crate::precomp`]: with
+/// every `d · 16^w · G` multiple stored in affine form, the whole
+/// multiplication is at most 64 mixed additions and one normalization,
+/// with no doublings. The generic path
+/// (`AffinePoint::generator().mul(k)`) remains available and is the
+/// comparison baseline in `benches/primitives.rs`.
 pub fn mul_generator(k: &Scalar) -> AffinePoint {
-    AffinePoint::generator().mul(k)
+    mul_generator_jacobian(k).to_affine()
+}
+
+/// `k·G` without the final affine normalization.
+///
+/// Batch callers (e.g. ECQV batch issuance) accumulate many fixed-base
+/// products and amortize the per-point field inversion through
+/// [`batch_normalize`]; everyone else wants [`mul_generator`].
+pub fn mul_generator_jacobian(k: &Scalar) -> JacobianPoint {
+    let kv = k.to_canonical();
+    if kv.is_zero() {
+        return JacobianPoint::identity();
+    }
+    let table = crate::precomp::generator_table();
+    let mut acc = JacobianPoint::identity();
+    for w in 0..crate::precomp::WINDOWS {
+        let nib = kv.nibble(w);
+        if nib != 0 {
+            acc = acc.add_affine(table.entry(w, nib));
+        }
+    }
+    acc
+}
+
+/// Normalizes a batch of Jacobian points to affine with a single field
+/// inversion (Montgomery's trick): the inverse of the product of all
+/// `Z` coordinates is computed once, then unwound into each individual
+/// `Z⁻¹` with two multiplications per point. Identity points map to
+/// [`AffinePoint::identity`] and do not participate in the product.
+pub fn batch_normalize(points: &[JacobianPoint]) -> Vec<AffinePoint> {
+    // prefix[i] = product of z_j for non-identity j < i.
+    let mut prefix = Vec::with_capacity(points.len());
+    let mut acc = FieldElement::one();
+    for p in points {
+        prefix.push(acc);
+        if !p.is_identity() {
+            acc = acc.mul(&p.z);
+        }
+    }
+    let mut suffix_inv = acc.invert();
+    let mut out = vec![AffinePoint::identity(); points.len()];
+    for (i, p) in points.iter().enumerate().rev() {
+        if p.is_identity() {
+            continue;
+        }
+        let z_inv = suffix_inv.mul(&prefix[i]);
+        suffix_inv = suffix_inv.mul(&p.z);
+        let z_inv2 = z_inv.square();
+        out[i] = AffinePoint {
+            x: p.x.mul(&z_inv2),
+            y: p.y.mul(&z_inv2).mul(&z_inv),
+            infinity: false,
+        };
+    }
+    out
 }
 
 /// Shamir's trick: computes `a·P + b·Q` with a single shared
@@ -441,5 +504,51 @@ mod tests {
         let g = AffinePoint::generator();
         assert!(AffinePoint::from_coords(g.x, g.y).is_some());
         assert!(AffinePoint::from_coords(g.x, g.x).is_none());
+    }
+
+    #[test]
+    fn fixed_base_matches_generic_mul() {
+        let mut rng = HmacDrbg::from_seed(7);
+        let g = AffinePoint::generator();
+        for _ in 0..8 {
+            let k = Scalar::random(&mut rng);
+            assert_eq!(mul_generator(&k), g.mul(&k));
+        }
+        // Edge scalars: 0, 1, n−1, and single-nibble values.
+        assert!(mul_generator(&Scalar::zero()).infinity);
+        assert_eq!(mul_generator(&Scalar::one()), g);
+        let n_minus_1 = Scalar::from_u64(1).neg();
+        assert_eq!(mul_generator(&n_minus_1), g.neg());
+        for shift in [0u32, 4, 60, 252] {
+            let k = Scalar::from_u64(9).mul(&pow2_scalar(shift));
+            assert_eq!(mul_generator(&k), g.mul(&k), "shift {shift}");
+        }
+    }
+
+    fn pow2_scalar(bits: u32) -> Scalar {
+        let mut s = Scalar::one();
+        for _ in 0..bits {
+            s = s.add(&s);
+        }
+        s
+    }
+
+    #[test]
+    fn batch_normalize_matches_individual() {
+        let mut rng = HmacDrbg::from_seed(8);
+        let g = JacobianPoint::from_affine(&AffinePoint::generator());
+        let mut points = vec![JacobianPoint::identity()];
+        for _ in 0..5 {
+            points.push(g.mul(&Scalar::random(&mut rng)));
+        }
+        points.push(JacobianPoint::identity());
+        let batch = batch_normalize(&points);
+        assert_eq!(batch.len(), points.len());
+        for (jac, aff) in points.iter().zip(&batch) {
+            assert_eq!(jac.to_affine(), *aff);
+        }
+        assert!(batch[0].infinity);
+        assert!(batch.last().unwrap().infinity);
+        assert!(batch_normalize(&[]).is_empty());
     }
 }

@@ -1,0 +1,111 @@
+//! Fixed-base precomputation for the generator `G`.
+//!
+//! `k·G` is by far the hottest curve operation in the workspace: every
+//! ephemeral STS key (eq. (2)), every ECQV request point, every CA
+//! blinding and every key-pair consistency check multiplies the same
+//! fixed generator. The generic double-and-add path pays ~252 doublings
+//! per call even though the base never changes.
+//!
+//! This module trades ~70 KiB of process-lifetime memory for all of
+//! those doublings: a one-time table stores every multiple
+//! `d · 16^w · G` for window `w ∈ [0, 64)` and digit `d ∈ [1, 15]`, so
+//! a fixed-base multiplication is at most 64 mixed additions and a
+//! single final normalization — no doublings at all. The table itself
+//! is normalized to affine with one shared field inversion
+//! ([`crate::point::batch_normalize`], Montgomery's trick).
+//!
+//! The table is built lazily on first use and shared process-wide; the
+//! build costs ~1000 group operations plus one inversion, amortized
+//! across every subsequent `k·G` in the process (a fleet enrolling
+//! thousands of devices performs hundreds of thousands of them).
+
+use crate::point::{batch_normalize, AffinePoint, JacobianPoint};
+use std::sync::OnceLock;
+
+/// Number of 4-bit windows covering a 256-bit scalar.
+pub const WINDOWS: usize = 64;
+/// Non-zero digits per 4-bit window.
+pub const DIGITS: usize = 15;
+
+/// The precomputed fixed-base table: `table[w][d-1] = d · 16^w · G`.
+pub struct GeneratorTable {
+    windows: Vec<[AffinePoint; DIGITS]>,
+}
+
+impl GeneratorTable {
+    fn build() -> Self {
+        // Multiples are accumulated in Jacobian coordinates and
+        // normalized in one batch at the end.
+        let mut jac: Vec<JacobianPoint> = Vec::with_capacity(WINDOWS * DIGITS);
+        let mut base = JacobianPoint::from_affine(&AffinePoint::generator());
+        for _ in 0..WINDOWS {
+            let start = jac.len();
+            jac.push(base); // 1·base
+            for d in 2..=DIGITS {
+                let next = if d % 2 == 0 {
+                    jac[start + d / 2 - 1].double()
+                } else {
+                    jac[start + d - 2].add(&base)
+                };
+                jac.push(next);
+            }
+            // 16·base = 2·(8·base) feeds the next window.
+            base = jac[start + 7].double();
+        }
+        let affine = batch_normalize(&jac);
+        let windows = affine
+            .chunks_exact(DIGITS)
+            .map(|chunk| {
+                let mut w = [AffinePoint::identity(); DIGITS];
+                w.copy_from_slice(chunk);
+                w
+            })
+            .collect();
+        GeneratorTable { windows }
+    }
+
+    /// The precomputed point `d · 16^w · G` (`d ∈ [1, 15]`).
+    #[inline]
+    pub fn entry(&self, window: usize, digit: u8) -> &AffinePoint {
+        debug_assert!((1..=DIGITS as u8).contains(&digit));
+        &self.windows[window][digit as usize - 1]
+    }
+}
+
+/// The shared process-wide table, built on first use.
+pub fn generator_table() -> &'static GeneratorTable {
+    static TABLE: OnceLock<GeneratorTable> = OnceLock::new();
+    TABLE.get_or_init(GeneratorTable::build)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn table_entries_match_generic_mul() {
+        let g = AffinePoint::generator();
+        let table = generator_table();
+        // Spot-check digits across several windows against the generic
+        // scalar multiplication: d · 16^w.
+        for &(w, d) in &[(0usize, 1u8), (0, 15), (1, 1), (1, 9), (7, 3), (63, 15)] {
+            let mut scalar = Scalar::from_u64(d as u64);
+            for _ in 0..w {
+                scalar = scalar.mul(&Scalar::from_u64(16));
+            }
+            assert_eq!(*table.entry(w, d), g.mul(&scalar), "window {w} digit {d}");
+        }
+    }
+
+    #[test]
+    fn every_entry_is_on_curve() {
+        let table = generator_table();
+        for w in 0..WINDOWS {
+            for d in 1..=DIGITS as u8 {
+                let p = table.entry(w, d);
+                assert!(p.is_on_curve() && !p.infinity);
+            }
+        }
+    }
+}

@@ -16,4 +16,7 @@ cargo fmt --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "OK: build, tests, fmt, clippy all green"
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "OK: build, tests, fmt, clippy, docs all green"

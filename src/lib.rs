@@ -19,6 +19,9 @@
 //!   comparison protocols,
 //! * [`devices`] (`ecq_devices`) — the four evaluation boards' cost
 //!   models,
+//! * [`fleet`] (`ecq_fleet`) — fleet-scale provisioning: sharded CA
+//!   pool, batch enrollment, concurrent handshakes, rekey epochs over
+//!   a deterministic scheduler,
 //! * [`simnet`] (`ecq_simnet`) — CAN-FD + ISO 15765-2 network
 //!   simulation,
 //! * [`bms`] (`ecq_bms`) — the BMS↔EVCC automotive prototype,
@@ -43,7 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use ecq_analysis as analysis;
 pub use ecq_baselines as baselines;
@@ -51,6 +54,7 @@ pub use ecq_bms as bms;
 pub use ecq_cert as cert;
 pub use ecq_crypto as crypto;
 pub use ecq_devices as devices;
+pub use ecq_fleet as fleet;
 pub use ecq_p256 as p256;
 pub use ecq_proto as proto;
 pub use ecq_simnet as simnet;
@@ -61,6 +65,7 @@ pub mod prelude {
     pub use ecq_cert::{ca::CertificateAuthority, DeviceId, ImplicitCert};
     pub use ecq_crypto::HmacDrbg;
     pub use ecq_devices::DevicePreset;
+    pub use ecq_fleet::{FleetConfig, FleetCoordinator, FleetReport};
     pub use ecq_proto::{Credentials, ProtocolKind, SessionKey};
     pub use ecq_sts::{establish, StsConfig, StsVariant};
 }

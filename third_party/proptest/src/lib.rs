@@ -340,7 +340,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length bounds for [`vec`], converted from the usual range forms.
+    /// Length bounds for [`vec()`], converted from the usual range forms.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
