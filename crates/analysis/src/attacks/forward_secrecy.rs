@@ -130,7 +130,7 @@ pub fn s_ecdsa_offline_decrypt(
     let q_b = ecq_cert::reconstruct_public_key(&cert_b, ca_public).ok()?;
     let premaster = ecq_p256::ecdh::shared_secret(leaked_alice_private, &q_b).ok()?;
     let salt = [nonce_a, nonce_b].concat();
-    let key = SessionKey::derive(&premaster, &salt, s_ecdsa::KDF_LABEL);
+    let key = SessionKey::derive(premaster.as_slice(), &salt, s_ecdsa::KDF_LABEL);
 
     let mut plain = captured.ciphertext.clone();
     key.apply_stream(APP_DIR, &mut plain);
@@ -173,7 +173,7 @@ pub fn sts_offline_decrypt_attempt(
     let q_b = ecq_cert::reconstruct_public_key(&cert_b, ca_public).ok()?;
     let static_secret = ecq_p256::ecdh::shared_secret(leaked_alice_private, &q_b).ok()?;
     let salt = [xg_a, xg_b].concat();
-    let candidate = SessionKey::derive(&static_secret, &salt, ecq_sts::KDF_LABEL);
+    let candidate = SessionKey::derive(static_secret.as_slice(), &salt, ecq_sts::KDF_LABEL);
 
     let mut plain = captured.ciphertext.clone();
     candidate.apply_stream(APP_DIR, &mut plain);
@@ -211,7 +211,7 @@ mod tests {
         let a1 = &captured.transcript.messages()[0].bytes;
         let b1 = &captured.transcript.messages()[1].bytes;
         let salt = [&a1[16..48], &b1[181..213]].concat();
-        let key = SessionKey::derive(&premaster, &salt, s_ecdsa::KDF_LABEL);
+        let key = SessionKey::derive(premaster.as_slice(), &salt, s_ecdsa::KDF_LABEL);
         assert_eq!(key, captured.true_key);
     }
 
@@ -237,7 +237,7 @@ mod tests {
         let static_secret =
             ecq_p256::ecdh::shared_secret(&d.alice.keys.private, &d.bob.keys.public).unwrap();
         // No salt choice makes the static secret equal the session key.
-        let candidate = SessionKey::derive(&static_secret, b"", ecq_sts::KDF_LABEL);
+        let candidate = SessionKey::derive(static_secret.as_slice(), b"", ecq_sts::KDF_LABEL);
         assert_ne!(candidate, captured.true_key);
     }
 }

@@ -21,7 +21,7 @@ use super::TestDeployment;
 use ecq_baselines::scianc::{self, SciancInitiator};
 use ecq_crypto::HmacDrbg;
 use ecq_p256::encoding::{decode_raw, encode_raw};
-use ecq_p256::point::mul_generator;
+use ecq_p256::point::mul_generator_vartime;
 use ecq_p256::scalar::Scalar;
 use ecq_proto::{Endpoint, FieldKind, Message, ProtocolError, Role, SessionKey, WireField};
 use ecq_sts::auth::{auth_response, DIR_RESPONDER};
@@ -71,7 +71,7 @@ pub fn scianc_kci(deployment: &mut TestDeployment) -> KciOutcome {
     let q_bob = ecq_cert::reconstruct_public_key(&bob_cert, &ca_public).expect("public derivation");
     let premaster = ecq_p256::ecdh::shared_secret(&leaked_alice_priv, &q_bob).expect("ecdh");
     let salt = [nonce_a.as_slice(), nonce_e.as_slice()].concat();
-    let ks = SessionKey::derive(&premaster, &salt, scianc::KDF_LABEL);
+    let ks = SessionKey::derive(premaster.as_slice(), &salt, scianc::KDF_LABEL);
 
     // Sanity: the attacker's A2 check confirms it holds Alice's key.
     let expect_a2 = scianc::auth_mac(&ks, Role::Initiator, &nonce_a, &nonce_e);
@@ -108,11 +108,11 @@ pub fn sts_kci(deployment: &mut TestDeployment) -> KciOutcome {
 
     // Attacker's own ephemeral: it will know the session key.
     let x_e = Scalar::from_u64(0x5EED_5EED);
-    let xg_e = encode_raw(&mul_generator(&x_e));
+    let xg_e = encode_raw(&mul_generator_vartime(&x_e));
     let alice_point = decode_raw(&xg_a).expect("valid point");
     let premaster = ecq_p256::ecdh::shared_secret(&x_e, &alice_point).expect("ecdh");
     let salt = [xg_a.as_slice(), xg_e.as_slice()].concat();
-    let ks = SessionKey::derive(&premaster, &salt, ecq_sts::KDF_LABEL);
+    let ks = SessionKey::derive(premaster.as_slice(), &salt, ecq_sts::KDF_LABEL);
 
     // Forge the response: the only private key available is Alice's.
     let mut scratch = ecq_proto::OpTrace::new();

@@ -44,7 +44,7 @@ pub fn s_ecdsa_reuse(
     }
     // The premaster is recomputable without any session state:
     let premaster = skd::static_premaster(&deployment.alice, &deployment.bob.cert)?;
-    let premasters = vec![premaster; n]; // identical every session
+    let premasters = vec![*premaster; n]; // identical every session
     Ok(report(keys, premasters))
 }
 
@@ -63,7 +63,7 @@ pub fn scianc_reuse(
         keys.push(*out.initiator_key.as_bytes());
     }
     let premaster = skd::static_premaster(&deployment.alice, &deployment.bob.cert)?;
-    Ok(report(keys, vec![premaster; n]))
+    Ok(report(keys, vec![*premaster; n]))
 }
 
 /// Runs `n` STS sessions: both the keys *and* the underlying

@@ -17,7 +17,7 @@ use ecq_cert::ca::CertificateAuthority;
 use ecq_cert::DeviceId;
 use ecq_crypto::HmacDrbg;
 use ecq_p256::encoding::encode_raw;
-use ecq_p256::point::mul_generator;
+use ecq_p256::point::mul_generator_vartime;
 use ecq_p256::scalar::Scalar;
 use ecq_proto::{Credentials, Endpoint, FieldKind, ProtocolError};
 use ecq_sts::{StsConfig, StsInitiator, StsResponder};
@@ -76,7 +76,7 @@ pub fn sts_point_substitution(deployment: &mut TestDeployment) -> MitmOutcome {
 
     // The attacker swaps XG_B for a point it controls.
     let evil_scalar = Scalar::from_u64(0xEEEE);
-    let evil_point = encode_raw(&mul_generator(&evil_scalar));
+    let evil_point = encode_raw(&mul_generator_vartime(&evil_scalar));
     for f in &mut b1.fields {
         if f.kind == FieldKind::EphemeralPoint {
             f.bytes = evil_point.to_vec();

@@ -83,7 +83,7 @@ fn derive_ks(
 
     // (3) static pairwise point S1 = Prk_own · Q_peer.
     trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::EcdhDerive);
-    let s1 = q_peer.mul(&own.keys.private);
+    let s1 = q_peer.mul_ct(&own.keys.private);
     if s1.infinity {
         return Err(ProtocolError::Curve(ecq_p256::CurveError::InfinityResult));
     }
@@ -97,7 +97,7 @@ fn derive_ks(
     ]);
     let s = Scalar::from_be_bytes_reduced(&h);
     trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::EcdhDerive);
-    let s2 = s1.mul(&s);
+    let s2 = s1.mul_ct(&s);
     if s2.infinity {
         return Err(ProtocolError::Curve(ecq_p256::CurveError::InfinityResult));
     }

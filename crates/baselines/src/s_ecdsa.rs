@@ -161,7 +161,7 @@ impl SEcdsaInitiator {
         let salt = [self.nonce.as_slice(), nonce_b.as_slice()].concat();
         self.trace
             .record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-        let ks = SessionKey::derive(&premaster, &salt, KDF_LABEL);
+        let ks = SessionKey::derive(premaster.as_slice(), &salt, KDF_LABEL);
 
         // Our own signature over (Nonce_B ‖ Nonce_A ‖ ID_A).
         self.trace
@@ -369,7 +369,7 @@ impl SEcdsaResponder {
         let salt = [nonce_a.as_slice(), nonce_b.as_slice()].concat();
         self.trace
             .record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-        let ks = SessionKey::derive(&premaster, &salt, KDF_LABEL);
+        let ks = SessionKey::derive(premaster.as_slice(), &salt, KDF_LABEL);
         self.session = Some(ks);
 
         let mut fields = vec![WireField::new(FieldKind::Ack, vec![0x01])];

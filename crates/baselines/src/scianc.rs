@@ -42,7 +42,7 @@ fn derive_ks(
     let premaster = static_premaster_traced(own, peer_cert, trace)?;
     let salt = [nonce_a, nonce_b].concat();
     trace.record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-    Ok(SessionKey::derive(&premaster, &salt, KDF_LABEL))
+    Ok(SessionKey::derive(premaster.as_slice(), &salt, KDF_LABEL))
 }
 
 /// The authentication MAC: keyed directly by the session key (the

@@ -8,6 +8,7 @@
 //! staleness, which is precisely the forward-secrecy gap.
 
 use ecq_cert::{reconstruct_public_key, ImplicitCert};
+use ecq_crypto::zeroize::Zeroizing;
 use ecq_proto::{Credentials, OpTrace, PrimitiveOp, ProtocolError, StsPhase};
 
 /// Computes the static premaster secret between `own` credentials and a
@@ -20,7 +21,7 @@ use ecq_proto::{Credentials, OpTrace, PrimitiveOp, ProtocolError, StsPhase};
 pub fn static_premaster(
     own: &Credentials,
     peer_cert: &ImplicitCert,
-) -> Result<[u8; 32], ProtocolError> {
+) -> Result<Zeroizing<[u8; 32]>, ProtocolError> {
     let q_peer = reconstruct_public_key(peer_cert, &own.ca_public)?;
     let secret = ecq_p256::ecdh::shared_secret(&own.keys.private, &q_peer)?;
     Ok(secret)
@@ -37,7 +38,7 @@ pub fn static_premaster_traced(
     own: &Credentials,
     peer_cert: &ImplicitCert,
     trace: &mut OpTrace,
-) -> Result<[u8; 32], ProtocolError> {
+) -> Result<Zeroizing<[u8; 32]>, ProtocolError> {
     trace.record(
         StsPhase::Op2KeyDerivation,
         PrimitiveOp::PublicKeyReconstruction,

@@ -57,16 +57,27 @@ fn bench_curve(c: &mut Criterion) {
     let peer = KeyPair::generate(&mut rng);
     let k = Scalar::random(&mut rng);
 
-    // Fixed-base table vs the generic window ladder the seed used for
-    // k·G — the ratio is the win of crates/p256/src/precomp.rs.
-    g.bench_function("base_mul", |b| {
-        b.iter(|| ecq_p256::point::mul_generator(black_box(&k)))
+    // Fixed-base: the vartime table walk, its constant-schedule
+    // counterpart (what every secret path now pays — the ct/vartime
+    // ratio is the measured cost of the side-channel fix), and the
+    // generic window ladder the seed used (the precomp.rs baseline).
+    g.bench_function("base_mul_vartime", |b| {
+        b.iter(|| ecq_p256::point::mul_generator_vartime(black_box(&k)))
+    });
+    g.bench_function("base_mul_ct", |b| {
+        b.iter(|| ecq_p256::point::mul_generator_ct(black_box(&k)))
     });
     g.bench_function("base_mul_generic", |b| {
         let g_pt = ecq_p256::point::AffinePoint::generator();
-        b.iter(|| g_pt.mul(black_box(&k)))
+        b.iter(|| g_pt.mul_vartime(black_box(&k)))
     });
-    g.bench_function("point_mul", |b| b.iter(|| peer.public.mul(black_box(&k))));
+    // Variable-base, same split (ECDH pays the ct row).
+    g.bench_function("point_mul_vartime", |b| {
+        b.iter(|| peer.public.mul_vartime(black_box(&k)))
+    });
+    g.bench_function("point_mul_ct", |b| {
+        b.iter(|| peer.public.mul_ct(black_box(&k)))
+    });
     g.bench_function("ecdh", |b| {
         b.iter(|| ecdh::shared_secret(&kp.private, black_box(&peer.public)).unwrap())
     });

@@ -74,12 +74,12 @@ fn main() {
     let k = Scalar::random(&mut rng);
     let g = AffinePoint::generator();
     let t_window = time_us(20, || {
-        let _ = g.mul(&k);
+        let _ = g.mul_vartime(&k);
     });
     let t_naive = time_us(20, || {
         let _ = mul_double_and_add(&g, &k);
     });
-    assert_eq!(g.mul(&k), mul_double_and_add(&g, &k));
+    assert_eq!(g.mul_vartime(&k), mul_double_and_add(&g, &k));
     println!("  4-bit window:   {t_window:>9.1} µs");
     println!(
         "  double-and-add: {t_naive:>9.1} µs  (window saves {:.0} %)",

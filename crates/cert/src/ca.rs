@@ -5,9 +5,10 @@ use crate::certificate::ImplicitCert;
 use crate::id::DeviceId;
 use crate::requester::CertRequest;
 use crate::{cert_hash, CertError};
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_p256::keys::KeyPair;
-use ecq_p256::point::{batch_normalize, mul_generator, mul_generator_jacobian, AffinePoint};
+use ecq_p256::point::{batch_normalize, mul_generator_ct, mul_generator_ct_jacobian, AffinePoint};
 use ecq_p256::scalar::Scalar;
 
 /// The CA's response to a certificate request: the implicit certificate
@@ -130,7 +131,9 @@ impl CertificateAuthority {
         }
         loop {
             let k = Scalar::random(rng);
-            let p_u = request.point.add(&mul_generator(&k));
+            // The blinding scalar is as secret as the CA key (`r`
+            // reveals `d_CA` given `k`), so `k·G` uses the ct path.
+            let p_u = request.point.add(&mul_generator_ct(&k));
             if p_u.infinity {
                 continue; // R_U = -kG; resample
             }
@@ -189,7 +192,7 @@ impl CertificateAuthority {
             serials.push(rng.next_u64());
             loop {
                 let k = Scalar::random(rng);
-                let p_u = mul_generator_jacobian(&k).add_affine(&request.point);
+                let p_u = mul_generator_ct_jacobian(&k).add_affine(&request.point);
                 if p_u.is_identity() {
                     continue; // R_U = -kG; resample, as `issue` does
                 }
@@ -218,7 +221,7 @@ impl CertificateAuthority {
             // RNG streams would diverge here — unreachable in practice).
             while e.is_zero() {
                 k = Scalar::random(rng);
-                let p_u = request.point.add(&mul_generator(&k));
+                let p_u = request.point.add(&mul_generator_ct(&k));
                 if p_u.infinity {
                     continue;
                 }
@@ -252,6 +255,14 @@ impl CertificateAuthority {
         let issued = self.issue_with_serial(request, serial, valid_from, valid_to, rng)?;
         self.next_serial += 1;
         Ok(issued)
+    }
+}
+
+impl Drop for CertificateAuthority {
+    /// Wipes the CA private key `d_CA` — the root secret of the whole
+    /// trust domain — when a CA instance (or clone) goes away.
+    fn drop(&mut self) {
+        self.keys.zeroize();
     }
 }
 

@@ -153,7 +153,7 @@ impl ImplicitCert {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ecq_p256::point::mul_generator;
+    use ecq_p256::point::mul_generator_vartime;
     use ecq_p256::scalar::Scalar;
 
     fn sample_cert() -> ImplicitCert {
@@ -163,7 +163,7 @@ mod tests {
             DeviceId::from_label("alice"),
             100,
             200,
-            &mul_generator(&Scalar::from_u64(9)),
+            &mul_generator_vartime(&Scalar::from_u64(9)),
         )
     }
 
@@ -180,7 +180,7 @@ mod tests {
         assert_eq!(parsed, cert);
         assert_eq!(
             parsed.reconstruction_point().unwrap(),
-            mul_generator(&Scalar::from_u64(9))
+            mul_generator_vartime(&Scalar::from_u64(9))
         );
     }
 

@@ -25,7 +25,7 @@
 //! use ecq_cert::{ca::CertificateAuthority, requester::CertRequester, DeviceId};
 //! use ecq_cert::reconstruct_public_key;
 //! use ecq_crypto::HmacDrbg;
-//! use ecq_p256::point::mul_generator;
+//! use ecq_p256::point::mul_generator_ct;
 //!
 //! let mut rng = HmacDrbg::from_seed(7);
 //! let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
@@ -37,7 +37,7 @@
 //! // Implicit derivation by a third party matches the subject's view.
 //! let derived = reconstruct_public_key(&issued.certificate, &ca.public_key()).unwrap();
 //! assert_eq!(derived, keys.public);
-//! assert_eq!(mul_generator(&keys.private), keys.public);
+//! assert_eq!(mul_generator_ct(&keys.private), keys.public);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -70,6 +70,8 @@ pub enum CertError {
     Expired,
     /// The request point was invalid.
     InvalidRequest,
+    /// The certificate's serial appears on the revocation list.
+    Revoked,
 }
 
 impl core::fmt::Display for CertError {
@@ -82,6 +84,7 @@ impl core::fmt::Display for CertError {
             }
             CertError::Expired => write!(f, "certificate outside validity window"),
             CertError::InvalidRequest => write!(f, "invalid certificate request"),
+            CertError::Revoked => write!(f, "certificate serial is revoked"),
         }
     }
 }
@@ -116,7 +119,9 @@ pub fn reconstruct_public_key(
 ) -> Result<AffinePoint, CertError> {
     let e = cert_hash(cert);
     let p_u = cert.reconstruction_point()?;
-    let q = p_u.mul(&e).add(ca_public);
+    // Everything here is public (certificate bytes and CA key), so the
+    // faster vartime multiplication is fine.
+    let q = p_u.mul_vartime(&e).add(ca_public);
     if q.infinity || !q.is_on_curve() {
         return Err(CertError::InvalidPoint);
     }

@@ -3,9 +3,10 @@
 use crate::ca::IssuedCert;
 use crate::id::DeviceId;
 use crate::{cert_hash, reconstruct_public_key, CertError};
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_p256::keys::KeyPair;
-use ecq_p256::point::{mul_generator, AffinePoint};
+use ecq_p256::point::{mul_generator_ct, AffinePoint};
 use ecq_p256::scalar::Scalar;
 
 /// The public part of a certificate request: `(U, R_U)`.
@@ -33,7 +34,7 @@ impl CertRequester {
         CertRequester {
             subject,
             k_u,
-            r_u: mul_generator(&k_u),
+            r_u: mul_generator_ct(&k_u),
         }
     }
 
@@ -75,13 +76,22 @@ impl CertRequester {
             return Err(CertError::ReconstructionMismatch);
         }
         let q_u = reconstruct_public_key(&issued.certificate, ca_public)?;
-        if mul_generator(&d_u) != q_u {
+        // d_U is the reconstructed private key: possession check on ct.
+        if mul_generator_ct(&d_u) != q_u {
             return Err(CertError::ReconstructionMismatch);
         }
         Ok(KeyPair {
             private: d_u,
             public: q_u,
         })
+    }
+}
+
+impl Drop for CertRequester {
+    /// Wipes the request secret `k_U`: together with the wire-visible
+    /// `r` it determines the reconstructed private key.
+    fn drop(&mut self) {
+        self.k_u.zeroize();
     }
 }
 

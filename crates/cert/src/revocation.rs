@@ -64,12 +64,13 @@ impl RevocationList {
     ///
     /// # Errors
     ///
+    /// * [`CertError::Revoked`] when the serial is on the list;
     /// * [`CertError::Expired`] outside the validity window;
     /// * [`CertError::ReconstructionMismatch`] is *not* checked here —
     ///   possession is the session protocol's job.
     pub fn check(&self, cert: &ImplicitCert, now: u32) -> Result<(), CertError> {
         if self.is_revoked(cert.serial) {
-            return Err(CertError::InvalidEncoding);
+            return Err(CertError::Revoked);
         }
         if !cert.is_valid_at(now) {
             return Err(CertError::Expired);
@@ -95,7 +96,10 @@ impl RevocationList {
     ///
     /// # Errors
     ///
-    /// [`CertError::InvalidEncoding`] on malformed input.
+    /// [`CertError::InvalidEncoding`] on malformed input, including a
+    /// repeated serial: [`Self::to_bytes`] never emits duplicates, and
+    /// silently deduplicating would leave `len()` disagreeing with the
+    /// wire `count` (and mask a corrupted or forged list).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CertError> {
         if bytes.len() < 11 || bytes[0..2] != MAGIC || bytes[2] != VERSION {
             return Err(CertError::InvalidEncoding);
@@ -108,9 +112,10 @@ impl RevocationList {
         let mut revoked = BTreeSet::new();
         for i in 0..count {
             let off = 11 + 8 * i;
-            revoked.insert(u64::from_be_bytes(
-                bytes[off..off + 8].try_into().expect("8 bytes"),
-            ));
+            let serial = u64::from_be_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+            if !revoked.insert(serial) {
+                return Err(CertError::InvalidEncoding);
+            }
         }
         Ok(RevocationList { sequence, revoked })
     }
@@ -126,7 +131,7 @@ impl RevocationList {
 mod tests {
     use super::*;
     use crate::id::DeviceId;
-    use ecq_p256::point::mul_generator;
+    use ecq_p256::point::mul_generator_vartime;
     use ecq_p256::scalar::Scalar;
 
     fn cert(serial: u64) -> ImplicitCert {
@@ -136,7 +141,7 @@ mod tests {
             DeviceId::from_label("dev"),
             0,
             100,
-            &mul_generator(&Scalar::from_u64(7)),
+            &mul_generator_vartime(&Scalar::from_u64(7)),
         )
     }
 
@@ -151,9 +156,11 @@ mod tests {
         assert_eq!(rl.len(), 1);
         assert_eq!(rl.sequence, 1);
 
-        assert!(rl.check(&cert(42), 10).is_err());
+        assert_eq!(rl.check(&cert(42), 10).unwrap_err(), CertError::Revoked);
         assert!(rl.check(&cert(43), 10).is_ok());
         assert_eq!(rl.check(&cert(43), 200).unwrap_err(), CertError::Expired);
+        // Revocation takes precedence over expiry.
+        assert_eq!(rl.check(&cert(42), 200).unwrap_err(), CertError::Revoked);
     }
 
     #[test]
@@ -180,6 +187,22 @@ mod tests {
         let mut bytes = good.to_bytes();
         bytes[2] = 9;
         assert!(RevocationList::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_serials() {
+        // Hand-craft a list whose count says 2 but repeats one serial:
+        // accepting it would make len() == 1 disagree with the wire.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RL\x01");
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // sequence
+        bytes.extend_from_slice(&2u32.to_be_bytes()); // count
+        bytes.extend_from_slice(&5u64.to_be_bytes());
+        bytes.extend_from_slice(&5u64.to_be_bytes());
+        assert_eq!(
+            RevocationList::from_bytes(&bytes).unwrap_err(),
+            CertError::InvalidEncoding
+        );
     }
 
     #[test]

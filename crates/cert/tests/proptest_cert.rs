@@ -4,9 +4,11 @@
 
 use ecq_cert::ca::CertificateAuthority;
 use ecq_cert::requester::CertRequester;
-use ecq_cert::{cert_hash, reconstruct_public_key, DeviceId, ImplicitCert};
+use ecq_cert::{
+    cert_hash, reconstruct_public_key, CertError, DeviceId, ImplicitCert, RevocationList,
+};
 use ecq_crypto::HmacDrbg;
-use ecq_p256::point::mul_generator;
+use ecq_p256::point::mul_generator_vartime;
 use ecq_p256::scalar::Scalar;
 use proptest::prelude::*;
 
@@ -26,7 +28,7 @@ fn arb_cert() -> impl Strategy<Value = ImplicitCert> {
                 DeviceId::from_bytes(subject),
                 from.min(to),
                 from.max(to),
-                &mul_generator(&Scalar::from_u64(k)),
+                &mul_generator_vartime(&Scalar::from_u64(k)),
             )
         })
 }
@@ -128,5 +130,51 @@ proptest! {
         }
         // Both paths consumed the identical RNG stream.
         prop_assert_eq!(rng_batch.next_u64(), rng_seq.next_u64());
+    }
+
+    #[test]
+    fn revocation_list_roundtrips(serials in proptest::collection::vec(any::<u64>(), 0..24)) {
+        let unique: std::collections::BTreeSet<u64> = serials.iter().copied().collect();
+        let mut rl = RevocationList::new();
+        for &s in &unique {
+            prop_assert!(rl.revoke(s));
+        }
+        let bytes = rl.to_bytes();
+        prop_assert_eq!(bytes.len(), 11 + 8 * unique.len());
+        let parsed = RevocationList::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(&parsed, &rl);
+        prop_assert_eq!(parsed.len(), unique.len());
+        for &s in &unique {
+            prop_assert!(parsed.is_revoked(s));
+        }
+    }
+
+    #[test]
+    fn revocation_list_rejects_duplicated_serials(
+        serials in proptest::collection::vec(any::<u64>(), 1..12),
+        dup_pick in any::<u64>(),
+    ) {
+        // Append a repeat of an existing serial and patch the count:
+        // parsing must fail rather than silently deduplicate, so len()
+        // can never disagree with the wire count.
+        let unique: Vec<u64> = serials
+            .iter()
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut rl = RevocationList::new();
+        for &s in &unique {
+            rl.revoke(s);
+        }
+        let mut bytes = rl.to_bytes();
+        let dup = unique[(dup_pick % unique.len() as u64) as usize];
+        bytes.extend_from_slice(&dup.to_be_bytes());
+        let count = (unique.len() as u32 + 1).to_be_bytes();
+        bytes[7..11].copy_from_slice(&count);
+        prop_assert_eq!(
+            RevocationList::from_bytes(&bytes).unwrap_err(),
+            CertError::InvalidEncoding
+        );
     }
 }

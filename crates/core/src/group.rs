@@ -22,6 +22,7 @@
 use crate::{establish, StsConfig};
 use ecq_cert::DeviceId;
 use ecq_crypto::hmac::hmac_sha256_concat;
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_proto::{Credentials, ProtocolError, SessionKey};
 
@@ -123,12 +124,16 @@ impl GroupSession {
         let mut channels = Vec::with_capacity(members.len());
         let mut bytes = 0usize;
         for member in members {
-            let outcome = establish(coordinator, member, config, &mut rng)?;
+            let mut outcome = establish(coordinator, member, config, &mut rng)?;
             bytes += outcome.transcript.total_bytes();
             channels.push(MemberChannel {
                 id: member.id,
                 pairwise: outcome.initiator_key,
             });
+            // Wipe the outcome's own key copies; only the stored
+            // pairwise copy (wiped by our Drop) must survive.
+            outcome.initiator_key.zeroize();
+            outcome.responder_key.zeroize();
         }
         let mut group_key = [0u8; GROUP_KEY_LEN];
         rng.fill_bytes(&mut group_key);
@@ -183,11 +188,27 @@ impl GroupSession {
     ///
     /// [`ProtocolError::UnexpectedMessage`] when the member is unknown.
     pub fn remove_and_rekey(&mut self, member: DeviceId) -> Result<Vec<KeyWrap>, ProtocolError> {
-        let before = self.members.len();
-        self.members.retain(|m| m.id != member);
-        if self.members.len() == before {
-            return Err(ProtocolError::UnexpectedMessage);
+        let idx = self
+            .members
+            .iter()
+            .position(|m| m.id == member)
+            .ok_or(ProtocolError::UnexpectedMessage)?;
+        // Evict wiping by hand, preserving member order: the revoked
+        // member's pairwise key is zeroed in place, the survivors
+        // shift left over it, and the vacated tail slot's key copy is
+        // zeroed before the length shrinks past it (a plain `retain`
+        // would leave key bytes resident where `Drop` no longer
+        // iterates).
+        self.members[idx].pairwise.zeroize();
+        let last = self.members.len() - 1;
+        for i in idx..last {
+            self.members[i] = MemberChannel {
+                id: self.members[i + 1].id,
+                pairwise: self.members[i + 1].pairwise,
+            };
         }
+        self.members[last].pairwise.zeroize();
+        self.members.truncate(last);
         Ok(self.rekey())
     }
 
@@ -196,6 +217,16 @@ impl GroupSession {
         self.rng.fill_bytes(&mut self.group_key);
         self.epoch += 1;
         self.distribute()
+    }
+}
+
+impl Drop for GroupSession {
+    /// Wipes the group key and every member's pairwise key.
+    fn drop(&mut self) {
+        self.group_key.zeroize();
+        for member in &mut self.members {
+            member.pairwise.zeroize();
+        }
     }
 }
 

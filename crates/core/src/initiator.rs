@@ -3,11 +3,11 @@
 use crate::auth::{auth_response, verify_response, DIR_INITIATOR, DIR_RESPONDER};
 use crate::{StsConfig, KDF_LABEL};
 use ecq_cert::{DeviceId, ImplicitCert};
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_p256::ecdh;
 use ecq_p256::encoding::{decode_raw, encode_raw};
 use ecq_p256::keys::KeyPair;
-use ecq_p256::point::mul_generator;
 use ecq_p256::scalar::Scalar;
 use ecq_proto::{
     Credentials, Endpoint, FieldKind, Message, OpTrace, PrimitiveOp, ProtocolError, Role,
@@ -43,10 +43,7 @@ impl StsInitiator {
         trace.record(StsPhase::Op1Request, PrimitiveOp::RandomBytes { bytes: 32 });
         trace.record(StsPhase::Op1Request, PrimitiveOp::EphemeralKeyGen);
         let x = Scalar::random(rng);
-        let ephemeral = KeyPair {
-            private: x,
-            public: mul_generator(&x),
-        };
+        let ephemeral = KeyPair::from_private(x);
         let xg_own = encode_raw(&ephemeral.public);
         StsInitiator {
             creds,
@@ -93,7 +90,9 @@ impl StsInitiator {
         let salt = [self.xg_own.as_slice(), xg_b_bytes.as_slice()].concat();
         self.trace
             .record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-        let ks = SessionKey::derive(&premaster, &salt, KDF_LABEL);
+        // `premaster` wipes itself when it drops at the end of this
+        // scope; only the derived session key survives.
+        let ks = SessionKey::derive(premaster.as_slice(), &salt, KDF_LABEL);
 
         // Op4 (+ the Op2 public-key reconstruction inside).
         verify_response(
@@ -126,6 +125,18 @@ impl StsInitiator {
                 WireField::new(FieldKind::Response, resp_a.to_vec()),
             ],
         )))
+    }
+}
+
+impl Drop for StsInitiator {
+    /// Wipes the ephemeral secret `X_A` and any derived session key:
+    /// forward secrecy is only as good as the lifetime of the
+    /// ephemerals (paper §V, node-capture row of Table III).
+    fn drop(&mut self) {
+        self.ephemeral.zeroize();
+        if let Some(key) = self.session.as_mut() {
+            key.zeroize();
+        }
     }
 }
 
@@ -170,6 +181,12 @@ impl Endpoint for StsInitiator {
         };
         if result.is_err() {
             self.state = State::Failed;
+            // Wipe in place before dropping the Option: clearing it
+            // alone would leave the key bytes resident (and invisible
+            // to our Drop impl) for the endpoint's remaining lifetime.
+            if let Some(key) = self.session.as_mut() {
+                key.zeroize();
+            }
             self.session = None;
         }
         result

@@ -15,6 +15,7 @@
 //! safe — no key material is shared between epochs).
 
 use crate::{establish, SessionOutcome, StsConfig};
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_proto::{Credentials, ProtocolError, SessionKey};
 
@@ -158,8 +159,17 @@ impl SessionManager {
             return Err(ProtocolError::Cert(ecq_cert::CertError::Expired));
         }
         let config = StsConfig { now, ..self.config };
-        let outcome: SessionOutcome = establish(&self.local, &self.peer, &config, &mut self.rng)?;
+        let mut outcome: SessionOutcome =
+            establish(&self.local, &self.peer, &config, &mut self.rng)?;
+        // The superseded epoch's key is dead from here on: wipe it.
+        if let Some(old) = self.key.as_mut() {
+            old.zeroize();
+        }
         self.key = Some(outcome.initiator_key);
+        // Wipe the outcome's own copies (responder_key is identical to
+        // the stored key) so only the copy our Drop wipes survives.
+        outcome.initiator_key.zeroize();
+        outcome.responder_key.zeroize();
         self.epoch = Some(EpochInfo {
             established_at: now,
             messages_used: 0,
@@ -195,6 +205,15 @@ impl SessionManager {
     pub fn force_rekey(&mut self, now: u32) -> Result<SessionKey, ProtocolError> {
         self.rekey(now, RekeyReason::Requested)?;
         Ok(self.key.expect("key exists after rekey"))
+    }
+}
+
+impl Drop for SessionManager {
+    /// Wipes the current epoch's key when the manager goes away.
+    fn drop(&mut self) {
+        if let Some(key) = self.key.as_mut() {
+            key.zeroize();
+        }
     }
 }
 

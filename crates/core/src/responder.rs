@@ -3,10 +3,11 @@
 use crate::auth::{auth_response, verify_response, DIR_INITIATOR, DIR_RESPONDER};
 use crate::{StsConfig, KDF_LABEL};
 use ecq_cert::{DeviceId, ImplicitCert};
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_p256::ecdh;
 use ecq_p256::encoding::{decode_raw, encode_raw};
-use ecq_p256::point::mul_generator;
+use ecq_p256::point::mul_generator_ct;
 use ecq_p256::scalar::Scalar;
 use ecq_proto::{
     Credentials, Endpoint, FieldKind, Message, OpTrace, PrimitiveOp, ProtocolError, Role,
@@ -66,7 +67,7 @@ impl StsResponder {
         self.trace
             .record(StsPhase::Op1Request, PrimitiveOp::EphemeralKeyGen);
         let x_b = Scalar::random(&mut self.rng);
-        let xg_b_bytes = encode_raw(&mul_generator(&x_b));
+        let xg_b_bytes = encode_raw(&mul_generator_ct(&x_b));
 
         // Op2: KPM = X_B · XG_A; KS = KDF(KPM, XG_A ‖ XG_B).
         self.trace
@@ -75,7 +76,9 @@ impl StsResponder {
         let salt = [xg_a_bytes.as_slice(), xg_b_bytes.as_slice()].concat();
         self.trace
             .record(StsPhase::Op2KeyDerivation, PrimitiveOp::Kdf);
-        let ks = SessionKey::derive(&premaster, &salt, KDF_LABEL);
+        // `premaster` wipes itself when it drops at the end of this
+        // scope; only the derived session key survives.
+        let ks = SessionKey::derive(premaster.as_slice(), &salt, KDF_LABEL);
 
         // Op3: Resp_B = E_KS(sign(Prk_B, XG_B ‖ XG_A)).
         let resp_b = auth_response(
@@ -142,6 +145,18 @@ impl StsResponder {
     }
 }
 
+impl Drop for StsResponder {
+    /// Wipes the ephemeral secret `X_B` and any derived session key.
+    fn drop(&mut self) {
+        if let Some((x_b, _)) = self.ephemeral.as_mut() {
+            x_b.zeroize();
+        }
+        if let Some(key) = self.session.as_mut() {
+            key.zeroize();
+        }
+    }
+}
+
 impl Endpoint for StsResponder {
     fn id(&self) -> DeviceId {
         self.creds.id
@@ -163,6 +178,12 @@ impl Endpoint for StsResponder {
         };
         if result.is_err() {
             self.state = State::Failed;
+            // Wipe in place before dropping the Option: clearing it
+            // alone would leave the key bytes resident (and invisible
+            // to our Drop impl) for the endpoint's remaining lifetime.
+            if let Some(key) = self.session.as_mut() {
+                key.zeroize();
+            }
             self.session = None;
         }
         result

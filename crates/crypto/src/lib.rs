@@ -15,7 +15,9 @@
 //!   evaluation setup),
 //! * [`drbg`] — NIST SP 800-90A HMAC-DRBG, the deterministic randomness
 //!   source used for reproducible protocol simulation,
-//! * [`ct`] — constant-time comparison helpers.
+//! * [`ct`] — constant-time comparison helpers,
+//! * [`zeroize`] — best-effort wiping of secret material (volatile
+//!   stores + compiler fence; no dependencies).
 //!
 //! # Example
 //!
@@ -28,7 +30,10 @@
 //! assert_ne!(session_key, [0u8; 16]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `zeroize` carves out two volatile-store
+// helpers with explicit `#[allow(unsafe_code)]`; everything else stays
+// unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
@@ -39,6 +44,7 @@ pub mod drbg;
 pub mod hkdf;
 pub mod hmac;
 pub mod sha256;
+pub mod zeroize;
 
 pub use drbg::HmacDrbg;
 pub use sha256::Sha256;

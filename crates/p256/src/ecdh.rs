@@ -7,31 +7,41 @@
 //! * **ephemeral** (eq. (3)): `KPM = X_A · XG_B` over per-session
 //!   random points — this is what gives STS its forward secrecy.
 //!
-//! The x-coordinate of the shared point is the secret.
+//! The x-coordinate of the shared point is the secret. The scalar
+//! multiplication is always secret-dependent here, so it runs on the
+//! constant-schedule path ([`crate::point::JacobianPoint::mul_ct`]),
+//! and the returned premaster wipes itself on drop.
 
 use crate::point::AffinePoint;
 use crate::scalar::Scalar;
 use crate::CurveError;
+use ecq_crypto::zeroize::Zeroizing;
 
 /// Computes the ECDH shared secret (32-byte x-coordinate).
+///
+/// The premaster is returned in a [`Zeroizing`] wrapper so the bytes
+/// are wiped once the caller's KDF has consumed them.
 ///
 /// # Errors
 ///
 /// * [`CurveError::InvalidPoint`] when the peer point is off-curve or
 ///   the identity (invalid-point attacks must not silently succeed);
 /// * [`CurveError::InfinityResult`] when the product is the identity.
-pub fn shared_secret(private: &Scalar, peer_public: &AffinePoint) -> Result<[u8; 32], CurveError> {
+pub fn shared_secret(
+    private: &Scalar,
+    peer_public: &AffinePoint,
+) -> Result<Zeroizing<[u8; 32]>, CurveError> {
     if peer_public.infinity || !peer_public.is_on_curve() {
         return Err(CurveError::InvalidPoint);
     }
     if private.is_zero() {
         return Err(CurveError::InvalidScalar);
     }
-    let shared = peer_public.mul(private);
+    let shared = peer_public.mul_ct(private);
     if shared.infinity {
         return Err(CurveError::InfinityResult);
     }
-    Ok(shared.x.to_be_bytes())
+    Ok(Zeroizing::new(shared.x.to_be_bytes()))
 }
 
 #[cfg(test)]
@@ -69,8 +79,8 @@ mod tests {
         let mut rng = HmacDrbg::from_seed(53);
         let a = KeyPair::generate(&mut rng);
         assert_eq!(
-            shared_secret(&a.private, &AffinePoint::identity()),
-            Err(CurveError::InvalidPoint)
+            shared_secret(&a.private, &AffinePoint::identity()).unwrap_err(),
+            CurveError::InvalidPoint
         );
         let off_curve = AffinePoint {
             x: FieldElement::from_u64(1),
@@ -78,8 +88,8 @@ mod tests {
             infinity: false,
         };
         assert_eq!(
-            shared_secret(&a.private, &off_curve),
-            Err(CurveError::InvalidPoint)
+            shared_secret(&a.private, &off_curve).unwrap_err(),
+            CurveError::InvalidPoint
         );
     }
 
@@ -88,8 +98,17 @@ mod tests {
         let mut rng = HmacDrbg::from_seed(54);
         let a = KeyPair::generate(&mut rng);
         assert_eq!(
-            shared_secret(&Scalar::zero(), &a.public),
-            Err(CurveError::InvalidScalar)
+            shared_secret(&Scalar::zero(), &a.public).unwrap_err(),
+            CurveError::InvalidScalar
         );
+    }
+
+    #[test]
+    fn premaster_matches_ct_point_mul() {
+        let mut rng = HmacDrbg::from_seed(55);
+        let a = KeyPair::generate(&mut rng);
+        let b = KeyPair::generate(&mut rng);
+        let expected = b.public.mul_vartime(&a.private).x.to_be_bytes();
+        assert_eq!(*shared_secret(&a.private, &b.public).unwrap(), expected);
     }
 }

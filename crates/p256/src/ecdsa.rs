@@ -7,7 +7,7 @@
 //! two separate scalar multiplications (micro-ecc's behaviour, the
 //! default for the device cost model) and Shamir's trick (an ablation).
 
-use crate::point::{mul_generator, multi_scalar_mul, AffinePoint};
+use crate::point::{mul_generator_ct, mul_generator_vartime, multi_scalar_mul, AffinePoint};
 use crate::rfc6979;
 use crate::scalar::Scalar;
 use crate::CurveError;
@@ -113,7 +113,9 @@ pub fn sign_randomized(private: &Scalar, msg: &[u8], rng: &mut HmacDrbg) -> Sign
 }
 
 fn sign_with_k(private: &Scalar, e: &Scalar, k: &Scalar) -> Option<Signature> {
-    let point = mul_generator(k);
+    // The nonce multiplication leaks the private key if its schedule
+    // leaks k, so it runs on the constant-time fixed-base path.
+    let point = mul_generator_ct(k);
     if point.infinity {
         return None;
     }
@@ -160,8 +162,10 @@ pub fn verify_prehashed(
     let s_inv = sig.s.invert();
     let u1 = e.mul(&s_inv);
     let u2 = sig.r.mul(&s_inv);
+    // u1/u2 derive from the public signature and hash, so verification
+    // stays on the faster vartime paths.
     let point = match strategy {
-        VerifyStrategy::SeparateMuls => mul_generator(&u1).add(&public.mul(&u2)),
+        VerifyStrategy::SeparateMuls => mul_generator_vartime(&u1).add(&public.mul_vartime(&u2)),
         VerifyStrategy::Shamir => multi_scalar_mul(&u1, &AffinePoint::generator(), &u2, public),
     };
     if point.infinity {
@@ -211,7 +215,7 @@ mod tests {
         ))
         .unwrap();
         let public = AffinePoint::from_coords(ux, uy).expect("RFC key on curve");
-        assert_eq!(public, mul_generator(&rfc6979_key()));
+        assert_eq!(public, mul_generator_ct(&rfc6979_key()));
         assert!(verify(&public, b"sample", &sig));
     }
 

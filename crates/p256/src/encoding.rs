@@ -117,7 +117,7 @@ pub fn decode_raw(bytes: &[u8]) -> Result<AffinePoint, CurveError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::point::mul_generator;
+    use crate::point::mul_generator_vartime;
     use crate::scalar::Scalar;
     use ecq_crypto::HmacDrbg;
 
@@ -125,7 +125,7 @@ mod tests {
     fn compressed_roundtrip() {
         let mut rng = HmacDrbg::from_seed(21);
         for _ in 0..4 {
-            let p = mul_generator(&Scalar::random(&mut rng));
+            let p = mul_generator_vartime(&Scalar::random(&mut rng));
             let enc = encode_compressed(&p);
             let dec = decode_compressed(&enc).unwrap();
             assert_eq!(dec, p);
@@ -134,14 +134,14 @@ mod tests {
 
     #[test]
     fn uncompressed_and_raw_roundtrip() {
-        let p = mul_generator(&Scalar::from_u64(77));
+        let p = mul_generator_vartime(&Scalar::from_u64(77));
         assert_eq!(decode_uncompressed(&encode_uncompressed(&p)).unwrap(), p);
         assert_eq!(decode_raw(&encode_raw(&p)).unwrap(), p);
     }
 
     #[test]
     fn parity_tag_distinguishes_y() {
-        let p = mul_generator(&Scalar::from_u64(5));
+        let p = mul_generator_vartime(&Scalar::from_u64(5));
         let enc_p = encode_compressed(&p);
         let enc_neg = encode_compressed(&p.neg());
         assert_ne!(enc_p[0], enc_neg[0]);

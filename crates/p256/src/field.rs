@@ -87,6 +87,18 @@ impl FieldElement {
         self.0.is_zero()
     }
 
+    /// All-ones mask when this is zero, without branching (Montgomery
+    /// representation of zero is zero, so the raw limbs decide).
+    pub fn ct_is_zero_mask(&self) -> u64 {
+        self.0.ct_is_zero_mask()
+    }
+
+    /// Constant-time select: `a` when `mask` is all-ones, `b` when
+    /// all-zeros. `mask` must be one of the two.
+    pub fn conditional_select(a: &Self, b: &Self, mask: u64) -> Self {
+        FieldElement(crate::ct::select_u256(&a.0, &b.0, mask))
+    }
+
     /// Addition in GF(p).
     pub fn add(&self, rhs: &Self) -> Self {
         FieldElement(ctx().add(&self.0, &rhs.0))

@@ -1,10 +1,17 @@
 //! Key-pair generation.
 
-use crate::point::{mul_generator, AffinePoint};
+use crate::point::{mul_generator_ct, AffinePoint};
 use crate::scalar::Scalar;
+use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 
 /// A P-256 key pair (`public = private · G`).
+///
+/// All `private·G` computations go through the constant-schedule
+/// fixed-base path ([`mul_generator_ct`]). The pair is `Copy` for
+/// ergonomic protocol state; holders of long-lived copies (e.g. the
+/// STS endpoints) wipe them on drop via the [`Zeroize`] impl, which
+/// clears the private scalar.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct KeyPair {
     /// The private scalar in `[1, n−1]`.
@@ -19,7 +26,7 @@ impl KeyPair {
         let private = Scalar::random(rng);
         KeyPair {
             private,
-            public: mul_generator(&private),
+            public: mul_generator_ct(&private),
         }
     }
 
@@ -27,7 +34,7 @@ impl KeyPair {
     pub fn from_private(private: Scalar) -> Self {
         KeyPair {
             private,
-            public: mul_generator(&private),
+            public: mul_generator_ct(&private),
         }
     }
 
@@ -36,7 +43,14 @@ impl KeyPair {
     pub fn is_consistent(&self) -> bool {
         !self.private.is_zero()
             && self.public.is_on_curve()
-            && mul_generator(&self.private) == self.public
+            && mul_generator_ct(&self.private) == self.public
+    }
+}
+
+impl Zeroize for KeyPair {
+    /// Wipes the private scalar (the public point is public).
+    fn zeroize(&mut self) {
+        self.private.zeroize();
     }
 }
 
@@ -79,5 +93,15 @@ mod tests {
             public: b.public,
         };
         assert!(!franken.is_consistent());
+    }
+
+    #[test]
+    fn zeroize_clears_private_scalar() {
+        let mut rng = HmacDrbg::from_seed(35);
+        let mut kp = KeyPair::generate(&mut rng);
+        let public = kp.public;
+        kp.zeroize();
+        assert!(kp.private.is_zero());
+        assert_eq!(kp.public, public, "public half is untouched");
     }
 }

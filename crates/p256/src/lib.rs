@@ -12,9 +12,14 @@
 //! * [`field`] — arithmetic in GF(p), the curve's base field,
 //! * [`scalar`] — arithmetic mod `n`, the group order,
 //! * [`point`] — affine/Jacobian group operations and scalar
-//!   multiplication (4-bit window; Shamir's trick for double mults),
+//!   multiplication, split into constant-schedule `*_ct` paths for
+//!   secret scalars and explicit `*_vartime` paths for public ones
+//!   (4-bit windows; Shamir's trick for verification double mults),
+//! * [`ct`] — the mask/select/table-scan primitives under the `*_ct`
+//!   paths,
 //! * [`precomp`] — the fixed-base window table behind
-//!   [`point::mul_generator`] (no doublings per `k·G`),
+//!   [`point::mul_generator_ct`] / [`point::mul_generator_vartime`]
+//!   (no doublings per `k·G`),
 //! * [`encoding`] — SEC1 point (de)compression,
 //! * [`ecdsa`] — deterministic (RFC 6979) and randomized ECDSA,
 //! * [`ecdh`] — Diffie–Hellman: the static `Sk = Prk_a·Puk_b` of §II-A
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod ct;
 pub mod ecdh;
 pub mod ecdsa;
 pub mod encoding;

@@ -2,13 +2,29 @@
 //!
 //! Points are manipulated in Jacobian coordinates (`x = X/Z²`,
 //! `y = Y/Z³`) with `a = −3` folded into the doubling formula, exactly
-//! as micro-ecc does. Scalar multiplication uses a 4-bit fixed window;
-//! [`mul_generator`] goes through the precomputed fixed-base table of
-//! [`crate::precomp`] instead (no doublings per call), and
-//! [`multi_scalar_mul`] implements Shamir's trick for the
-//! `u1·G + u2·Q` of ECDSA verification (an ablation toggle in the
-//! benchmarks — micro-ecc itself performs two separate multiplications).
+//! as micro-ecc does. Scalar multiplication comes in two explicitly
+//! named families:
+//!
+//! * **`*_ct`** — constant group-operation schedule, for secret
+//!   scalars: [`mul_generator_ct`] always-adds across all 64 windows of
+//!   the fixed-base table (dummy additions for zero digits, table
+//!   entries fetched by a full constant-time scan), and
+//!   [`JacobianPoint::mul_ct`] runs a fixed window walk of exactly
+//!   4 doublings + 1 masked addition per window. Key generation, ECDH,
+//!   ECDSA signing and the ECQV secret paths use these.
+//! * **`*_vartime`** — faster, schedule leaks the scalar's zero
+//!   windows: [`mul_generator_vartime`], [`AffinePoint::mul_vartime`]
+//!   and [`multi_scalar_mul`] (Shamir's trick). Only for public inputs:
+//!   ECDSA verification, eq. (1) public-key reconstruction, benches and
+//!   attack simulations.
+//!
+//! The `cfg(test)` op-counter (the `ops` module) asserts the ct schedules are
+//! scalar-independent; `scripts/verify.sh` runs that suite in release
+//! mode. The remaining caveat is documented in [`crate::ct`]: field
+//! arithmetic keeps the Montgomery conditional subtraction, so this is
+//! schedule-level, not gate-level, constant time.
 
+use crate::ct;
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
 use crate::u256::U256;
@@ -18,6 +34,63 @@ use std::sync::OnceLock;
 pub const GX_HEX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296";
 /// Generator y-coordinate, big-endian hex.
 pub const GY_HEX: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
+
+/// Test-only group-operation counters behind the constant-schedule
+/// assertions. Thread-local, so parallel tests do not observe each
+/// other's operations.
+#[cfg(test)]
+pub(crate) mod ops {
+    use std::cell::Cell;
+
+    thread_local! {
+        static ADDS: Cell<u64> = const { Cell::new(0) };
+        static DOUBLES: Cell<u64> = const { Cell::new(0) };
+        static CT_ADDS: Cell<u64> = const { Cell::new(0) };
+        static CT_DOUBLES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Snapshot of this thread's counters.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Counts {
+        pub adds: u64,
+        pub doubles: u64,
+        pub ct_adds: u64,
+        pub ct_doubles: u64,
+    }
+
+    pub fn record_add() {
+        ADDS.with(|c| c.set(c.get() + 1));
+    }
+    pub fn record_double() {
+        DOUBLES.with(|c| c.set(c.get() + 1));
+    }
+    pub fn record_ct_add() {
+        CT_ADDS.with(|c| c.set(c.get() + 1));
+    }
+    pub fn record_ct_double() {
+        CT_DOUBLES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Runs `f` with zeroed counters and returns its result plus the
+    /// group operations it performed on this thread. Forces the lazy
+    /// fixed-base table first so its one-time build is not attributed
+    /// to `f`.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Counts) {
+        let _ = crate::precomp::generator_table();
+        ADDS.with(|c| c.set(0));
+        DOUBLES.with(|c| c.set(0));
+        CT_ADDS.with(|c| c.set(0));
+        CT_DOUBLES.with(|c| c.set(0));
+        let result = f();
+        let counts = Counts {
+            adds: ADDS.with(Cell::get),
+            doubles: DOUBLES.with(Cell::get),
+            ct_adds: CT_ADDS.with(Cell::get),
+            ct_doubles: CT_DOUBLES.with(Cell::get),
+        };
+        (result, counts)
+    }
+}
 
 /// A point in affine coordinates, or the point at infinity.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -83,14 +156,33 @@ impl AffinePoint {
         }
     }
 
+    /// Constant-time select: `a` when `mask` is all-ones, `b` when
+    /// all-zeros.
+    pub fn conditional_select(a: &Self, b: &Self, mask: u64) -> Self {
+        AffinePoint {
+            x: FieldElement::conditional_select(&a.x, &b.x, mask),
+            y: FieldElement::conditional_select(&a.y, &b.y, mask),
+            infinity: ct::select_u64(a.infinity as u64, b.infinity as u64, mask) != 0,
+        }
+    }
+
     /// Group addition (affine convenience; converts through Jacobian).
     pub fn add(&self, rhs: &AffinePoint) -> AffinePoint {
         JacobianPoint::from_affine(self).add_affine(rhs).to_affine()
     }
 
-    /// Scalar multiplication `k·self`.
-    pub fn mul(&self, k: &Scalar) -> AffinePoint {
-        JacobianPoint::from_affine(self).mul(k).to_affine()
+    /// Variable-time scalar multiplication `k·self`.
+    ///
+    /// The schedule skips zero windows of `k`: only for public scalars
+    /// (signature verification, attack tooling, benches).
+    pub fn mul_vartime(&self, k: &Scalar) -> AffinePoint {
+        JacobianPoint::from_affine(self).mul_vartime(k).to_affine()
+    }
+
+    /// Constant-schedule scalar multiplication `k·self` for secret `k`.
+    /// See [`JacobianPoint::mul_ct`].
+    pub fn mul_ct(&self, k: &Scalar) -> AffinePoint {
+        JacobianPoint::from_affine(self).mul_ct(k).to_affine()
     }
 }
 
@@ -145,12 +237,40 @@ impl JacobianPoint {
         }
     }
 
+    /// Constant-time select: `a` when `mask` is all-ones, `b` when
+    /// all-zeros.
+    pub fn conditional_select(a: &Self, b: &Self, mask: u64) -> Self {
+        JacobianPoint {
+            x: FieldElement::conditional_select(&a.x, &b.x, mask),
+            y: FieldElement::conditional_select(&a.y, &b.y, mask),
+            z: FieldElement::conditional_select(&a.z, &b.z, mask),
+        }
+    }
+
     /// Point doubling with `a = −3`
     /// (`M = 3(X−Z²)(X+Z²)`, standard dbl-2001-b shape).
     pub fn double(&self) -> JacobianPoint {
+        #[cfg(test)]
+        ops::record_double();
         if self.is_identity() || self.y.is_zero() {
             return Self::identity();
         }
+        self.double_inner()
+    }
+
+    /// Branch-free doubling for secret-dependent schedules: the same
+    /// formula as [`Self::double`] with no identity short-circuit. The
+    /// identity (`Z = 0`) flows through to `Z' = 2YZ = 0`, and points
+    /// with `Y = 0` (order 2) do not exist on P-256 — the group order
+    /// is an odd prime — so the `Y = 0` guard of the vartime path is
+    /// unnecessary for valid inputs.
+    fn double_ct(&self) -> JacobianPoint {
+        #[cfg(test)]
+        ops::record_ct_double();
+        self.double_inner()
+    }
+
+    fn double_inner(&self) -> JacobianPoint {
         let zz = self.z.square();
         let m = self
             .x
@@ -172,6 +292,8 @@ impl JacobianPoint {
 
     /// General Jacobian + Jacobian addition.
     pub fn add(&self, rhs: &JacobianPoint) -> JacobianPoint {
+        #[cfg(test)]
+        ops::record_add();
         if self.is_identity() {
             return *rhs;
         }
@@ -207,6 +329,8 @@ impl JacobianPoint {
 
     /// Mixed Jacobian + affine addition (saves a few multiplications).
     pub fn add_affine(&self, rhs: &AffinePoint) -> JacobianPoint {
+        #[cfg(test)]
+        ops::record_add();
         if rhs.infinity {
             return *self;
         }
@@ -237,13 +361,62 @@ impl JacobianPoint {
         }
     }
 
-    /// Scalar multiplication with a 4-bit fixed window.
+    /// Mixed addition for secret-dependent schedules: computes the
+    /// general formulas unconditionally, then repairs the exceptional
+    /// cases with masked selects instead of branches — identity `self`
+    /// → lift of `rhs`; `H = 0` (`self = ±rhs` in the group) → the
+    /// identity; identity `rhs` → `self`.
     ///
-    /// Not constant-time: zero windows skip the table addition. The
-    /// simulated protocols model timing through the device cost model,
-    /// not through host-side execution time, so this is acceptable here
-    /// (and is called out in the security notes of the README).
-    pub fn mul(&self, k: &Scalar) -> JacobianPoint {
+    /// The `H = 0` repair returns the identity, which is only correct
+    /// for `self = −rhs` (it would be wrong for a true doubling). The
+    /// ct multipliers never produce the doubling case: each addition
+    /// combines multiples `A·P` and `d·P` with `A ≠ d` unless `A = 0`
+    /// (repaired by the identity-`self` select, which takes
+    /// precedence) — see the per-caller audits on [`Self::mul_ct`] and
+    /// [`mul_generator_ct_jacobian`].
+    fn add_affine_ct(&self, rhs: &AffinePoint) -> JacobianPoint {
+        #[cfg(test)]
+        ops::record_ct_add();
+        let z1z1 = self.z.square();
+        let u2 = rhs.x.mul(&z1z1);
+        let s2 = rhs.y.mul(&z1z1).mul(&self.z);
+        let h = u2.sub(&self.x);
+        let r = s2.sub(&self.y);
+        let h2 = h.square();
+        let h3 = h2.mul(&h);
+        let u1h2 = self.x.mul(&h2);
+        let x3 = r.square().sub(&h3).sub(&u1h2.double());
+        let y3 = r.mul(&u1h2.sub(&x3)).sub(&self.y.mul(&h3));
+        let z3 = self.z.mul(&h);
+        let general = JacobianPoint {
+            x: x3,
+            y: y3,
+            z: z3,
+        };
+
+        let self_is_id = self.z.ct_is_zero_mask();
+        let rhs_is_id = ct::bool_mask(rhs.infinity);
+        let h_is_zero = h.ct_is_zero_mask();
+        let rhs_lifted = JacobianPoint {
+            x: rhs.x,
+            y: rhs.y,
+            z: FieldElement::one(),
+        };
+
+        // Ascending precedence: H = 0 is garbage when `self` is the
+        // identity, and an infinite `rhs` overrides everything.
+        let mut out = Self::conditional_select(&Self::identity(), &general, h_is_zero);
+        out = Self::conditional_select(&rhs_lifted, &out, self_is_id);
+        Self::conditional_select(self, &out, rhs_is_id)
+    }
+
+    /// Variable-time scalar multiplication with a 4-bit fixed window.
+    ///
+    /// Zero windows skip the table addition, so the group-operation
+    /// schedule leaks the scalar's nibble pattern: only for public
+    /// scalars (ECDSA verification, benches, attack tooling). Secret
+    /// scalars go through [`Self::mul_ct`].
+    pub fn mul_vartime(&self, k: &Scalar) -> JacobianPoint {
         let kv = k.to_canonical();
         if kv.is_zero() || self.is_identity() {
             return Self::identity();
@@ -270,6 +443,77 @@ impl JacobianPoint {
         }
         acc
     }
+
+    /// Constant-schedule scalar multiplication `k·self` for secret `k`.
+    ///
+    /// Fixed 4-bit windows, most-significant first, with a uniform
+    /// schedule: per window exactly four branch-free doublings, one
+    /// constant-time scan of the full 15-entry table, and one masked
+    /// addition whose result is discarded by select when the digit is
+    /// zero. After the scalar-independent table setup (7 additions +
+    /// 7 doublings + one shared inversion), every scalar — including
+    /// 0, 1 and n−1 — costs exactly 256 ct-doublings and 64
+    /// ct-additions; the `cfg(test)` op-counter asserts this.
+    ///
+    /// Exceptional-case audit for `add_affine_ct`: at window
+    /// `w` the accumulator holds `A·P` with `A = 16·⌊k/16^(w+1)⌋ < n`
+    /// and the looked-up entry is `d·P`, `1 ≤ d ≤ 15`. `H = 0` needs
+    /// `A ≡ ±d (mod n)`: `A = d` forces `A = 0` (a zero multiple of
+    /// 16), which the identity-`self` select repairs; `A = n − d` makes
+    /// the true sum the identity, which the `H = 0` select returns —
+    /// correct, and in fact only reachable as the final dummy addition
+    /// of `k = n−1`, whose result is discarded anyway. The true-
+    /// doubling case is therefore never hit.
+    pub fn mul_ct(&self, k: &Scalar) -> JacobianPoint {
+        // 1·P … 15·P, normalized to affine around one shared inversion.
+        // The build pattern is scalar-independent (and branches only on
+        // properties of the public base point).
+        let mut multiples = [Self::identity(); 15];
+        multiples[0] = *self;
+        for i in 2..=15 {
+            multiples[i - 1] = if i % 2 == 0 {
+                multiples[i / 2 - 1].double()
+            } else {
+                multiples[i - 2].add(self)
+            };
+        }
+        // Fixed-size Montgomery's-trick normalization: same shared
+        // inversion as [`batch_normalize`] but allocation-free, since
+        // this sits on the hot secret path (every ECDH). A prime-order
+        // curve has no small-order points, so the multiples are either
+        // all identity (identity base — a public property, branch is
+        // fine, table stays all-identity) or all proper points.
+        let mut table = [AffinePoint::identity(); 15];
+        if !self.is_identity() {
+            let mut prefix = [FieldElement::one(); 15];
+            let mut acc = FieldElement::one();
+            for (slot, p) in prefix.iter_mut().zip(&multiples) {
+                *slot = acc;
+                acc = acc.mul(&p.z);
+            }
+            let mut suffix_inv = acc.invert();
+            for ((entry, p), pre) in table.iter_mut().zip(&multiples).zip(&prefix).rev() {
+                let z_inv = suffix_inv.mul(pre);
+                suffix_inv = suffix_inv.mul(&p.z);
+                let z_inv2 = z_inv.square();
+                *entry = AffinePoint {
+                    x: p.x.mul(&z_inv2),
+                    y: p.y.mul(&z_inv2).mul(&z_inv),
+                    infinity: false,
+                };
+            }
+        }
+
+        let kv = k.to_canonical();
+        let mut acc = Self::identity();
+        for w in (0..64).rev() {
+            acc = acc.double_ct().double_ct().double_ct().double_ct();
+            let (entry, nonzero) = ct::lookup_affine(&table, kv.nibble(w));
+            let sum = acc.add_affine_ct(&entry);
+            acc = Self::conditional_select(&sum, &acc, nonzero);
+        }
+        acc
+    }
 }
 
 impl PartialEq for JacobianPoint {
@@ -290,24 +534,58 @@ impl PartialEq for JacobianPoint {
 
 impl Eq for JacobianPoint {}
 
-/// `k·G` — multiplication of the generator.
+/// `k·G` for secret `k` — the constant-schedule fixed-base path.
 ///
-/// Uses the precomputed fixed-base table of [`crate::precomp`]: with
-/// every `d · 16^w · G` multiple stored in affine form, the whole
-/// multiplication is at most 64 mixed additions and one normalization,
-/// with no doublings. The generic path
-/// (`AffinePoint::generator().mul(k)`) remains available and is the
-/// comparison baseline in `benches/primitives.rs`.
-pub fn mul_generator(k: &Scalar) -> AffinePoint {
-    mul_generator_jacobian(k).to_affine()
+/// See [`mul_generator_ct_jacobian`]; this adds the final affine
+/// normalization. Key generation, ECDSA signing nonces, ECQV request
+/// secrets and CA blinding all come through here.
+pub fn mul_generator_ct(k: &Scalar) -> AffinePoint {
+    mul_generator_ct_jacobian(k).to_affine()
 }
 
-/// `k·G` without the final affine normalization.
+/// `k·G` for secret `k`, without the final affine normalization.
 ///
-/// Batch callers (e.g. ECQV batch issuance) accumulate many fixed-base
-/// products and amortize the per-point field inversion through
-/// [`batch_normalize`]; everyone else wants [`mul_generator`].
-pub fn mul_generator_jacobian(k: &Scalar) -> JacobianPoint {
+/// Walks the same precomputed table as [`mul_generator_vartime`] but
+/// always-adds: each of the 64 windows performs one constant-time scan
+/// of its 15 entries ([`crate::ct::lookup_affine`]) and one masked
+/// mixed addition — a dummy, discarded by select, when the digit is
+/// zero. Exactly 64 ct-additions and no doublings for every scalar.
+///
+/// Exceptional-case audit for `add_affine_ct`: windows are processed
+/// low-to-high, so at window `w` the accumulator holds `S·G` with
+/// `S = k mod 16^w < 16^w` and the entry is `d·16^w·G`, `1 ≤ d ≤ 15`.
+/// `H = 0` needs `S ≡ ±d·16^w (mod n)`: `S = d·16^w` contradicts
+/// `S < 16^w`; `S + d·16^w = n` contradicts `S + d·16^w ≤ k < n` for
+/// real digits, and for dummies (`d = 1`) would need `16^w > n/2`,
+/// i.e. `w ≥ 64`. Only the `S = 0` identity case remains, repaired by
+/// select inside the addition.
+pub fn mul_generator_ct_jacobian(k: &Scalar) -> JacobianPoint {
+    let kv = k.to_canonical();
+    let table = crate::precomp::generator_table();
+    let mut acc = JacobianPoint::identity();
+    for w in 0..crate::precomp::WINDOWS {
+        let (entry, nonzero) = ct::lookup_affine(table.window(w), kv.nibble(w));
+        let sum = acc.add_affine_ct(&entry);
+        acc = JacobianPoint::conditional_select(&sum, &acc, nonzero);
+    }
+    acc
+}
+
+/// `k·G` for public `k` — the variable-time fixed-base path.
+///
+/// Uses the precomputed table of [`crate::precomp`] and skips zero
+/// nibbles, so at most 64 mixed additions, no doublings, and a schedule
+/// that leaks `k`'s nibble pattern. Only for public scalars: the `u1`
+/// of ECDSA verification, benches and tests. The generic path
+/// (`AffinePoint::generator().mul_vartime(k)`) remains the comparison
+/// baseline in `benches/primitives.rs`.
+pub fn mul_generator_vartime(k: &Scalar) -> AffinePoint {
+    mul_generator_vartime_jacobian(k).to_affine()
+}
+
+/// [`mul_generator_vartime`] without the final affine normalization,
+/// for callers that amortize the inversion via [`batch_normalize`].
+pub fn mul_generator_vartime_jacobian(k: &Scalar) -> JacobianPoint {
     let kv = k.to_canonical();
     if kv.is_zero() {
         return JacobianPoint::identity();
@@ -357,7 +635,8 @@ pub fn batch_normalize(points: &[JacobianPoint]) -> Vec<AffinePoint> {
 }
 
 /// Shamir's trick: computes `a·P + b·Q` with a single shared
-/// double-and-add pass. Used by the optimized ECDSA verification.
+/// double-and-add pass. Variable-time by construction; used by the
+/// optimized ECDSA verification, where every input is public.
 pub fn multi_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoint) -> AffinePoint {
     let av = a.to_canonical();
     let bv = b.to_canonical();
@@ -391,7 +670,7 @@ mod tests {
     #[test]
     fn known_double_of_g() {
         // 2G, standard P-256 test vector.
-        let two_g = AffinePoint::generator().mul(&Scalar::from_u64(2));
+        let two_g = AffinePoint::generator().mul_vartime(&Scalar::from_u64(2));
         assert_eq!(
             two_g.x.to_canonical().to_string(),
             "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"
@@ -405,7 +684,7 @@ mod tests {
     #[test]
     fn known_triple_of_g() {
         // 3G, standard P-256 test vector.
-        let three_g = AffinePoint::generator().mul(&Scalar::from_u64(3));
+        let three_g = AffinePoint::generator().mul_vartime(&Scalar::from_u64(3));
         assert_eq!(
             three_g.x.to_canonical().to_string(),
             "5ecbe4d1a6330a44c8f7ef951d4bf165e6c6b721efada985fb41661bc6e7fd6c"
@@ -420,7 +699,7 @@ mod tests {
     fn order_times_g_is_identity() {
         // n·G = O, checked via (n-1)·G + G.
         let n_minus_1 = Scalar::from_u64(1).neg();
-        let p = mul_generator(&n_minus_1);
+        let p = mul_generator_vartime(&n_minus_1);
         let sum = p.add(&AffinePoint::generator());
         assert!(sum.infinity);
         // (n-1)·G == -G
@@ -430,9 +709,9 @@ mod tests {
     #[test]
     fn add_commutative_and_assoc() {
         let g = AffinePoint::generator();
-        let p = g.mul(&Scalar::from_u64(5));
-        let q = g.mul(&Scalar::from_u64(11));
-        let r = g.mul(&Scalar::from_u64(100));
+        let p = g.mul_vartime(&Scalar::from_u64(5));
+        let q = g.mul_vartime(&Scalar::from_u64(11));
+        let r = g.mul_vartime(&Scalar::from_u64(100));
         assert_eq!(p.add(&q), q.add(&p));
         assert_eq!(p.add(&q).add(&r), p.add(&q.add(&r)));
     }
@@ -442,8 +721,11 @@ mod tests {
         let g = AffinePoint::generator();
         let a = Scalar::from_u64(123);
         let b = Scalar::from_u64(456);
-        assert_eq!(g.mul(&a).add(&g.mul(&b)), g.mul(&a.add(&b)));
-        assert_eq!(g.mul(&a).mul(&b), g.mul(&a.mul(&b)));
+        assert_eq!(
+            g.mul_vartime(&a).add(&g.mul_vartime(&b)),
+            g.mul_vartime(&a.add(&b))
+        );
+        assert_eq!(g.mul_vartime(&a).mul_vartime(&b), g.mul_vartime(&a.mul(&b)));
     }
 
     #[test]
@@ -453,8 +735,8 @@ mod tests {
         assert_eq!(g.add(&id), g);
         assert_eq!(id.add(&g), g);
         assert!(g.add(&g.neg()).infinity);
-        assert!(g.mul(&Scalar::zero()).infinity);
-        assert!(id.mul(&Scalar::from_u64(7)).infinity);
+        assert!(g.mul_vartime(&Scalar::zero()).infinity);
+        assert!(id.mul_vartime(&Scalar::from_u64(7)).infinity);
     }
 
     #[test]
@@ -470,9 +752,9 @@ mod tests {
         for _ in 0..4 {
             let a = Scalar::random(&mut rng);
             let b = Scalar::random(&mut rng);
-            let q = g.mul(&Scalar::random(&mut rng));
+            let q = g.mul_vartime(&Scalar::random(&mut rng));
             let fast = multi_scalar_mul(&a, &g, &b, &q);
-            let naive = g.mul(&a).add(&q.mul(&b));
+            let naive = g.mul_vartime(&a).add(&q.mul_vartime(&b));
             assert_eq!(fast, naive);
         }
     }
@@ -483,7 +765,7 @@ mod tests {
         let g = AffinePoint::generator();
         for _ in 0..4 {
             let k = Scalar::random(&mut rng);
-            let p = g.mul(&k);
+            let p = g.mul_vartime(&k);
             assert!(p.is_on_curve());
             assert!(!p.infinity);
         }
@@ -512,16 +794,20 @@ mod tests {
         let g = AffinePoint::generator();
         for _ in 0..8 {
             let k = Scalar::random(&mut rng);
-            assert_eq!(mul_generator(&k), g.mul(&k));
+            assert_eq!(mul_generator_vartime(&k), g.mul_vartime(&k));
         }
         // Edge scalars: 0, 1, n−1, and single-nibble values.
-        assert!(mul_generator(&Scalar::zero()).infinity);
-        assert_eq!(mul_generator(&Scalar::one()), g);
+        assert!(mul_generator_vartime(&Scalar::zero()).infinity);
+        assert_eq!(mul_generator_vartime(&Scalar::one()), g);
         let n_minus_1 = Scalar::from_u64(1).neg();
-        assert_eq!(mul_generator(&n_minus_1), g.neg());
+        assert_eq!(mul_generator_vartime(&n_minus_1), g.neg());
         for shift in [0u32, 4, 60, 252] {
             let k = Scalar::from_u64(9).mul(&pow2_scalar(shift));
-            assert_eq!(mul_generator(&k), g.mul(&k), "shift {shift}");
+            assert_eq!(
+                mul_generator_vartime(&k),
+                g.mul_vartime(&k),
+                "shift {shift}"
+            );
         }
     }
 
@@ -533,13 +819,122 @@ mod tests {
         s
     }
 
+    /// Edge scalars every ct test sweeps: the op-count must not depend
+    /// on nibble patterns, so zero-rich and dense scalars both appear.
+    fn edge_scalars() -> Vec<Scalar> {
+        let mut rng = HmacDrbg::from_seed(0xC7);
+        let mut scalars = vec![
+            Scalar::zero(),
+            Scalar::one(),
+            Scalar::from_u64(1).neg(),     // n − 1
+            Scalar::from_u64(15),          // one dense low nibble
+            Scalar::from_u64(0x1000_0000), // single nibble mid-word
+            pow2_scalar(252),              // only the top window set
+            Scalar::from_u64(9).mul(&pow2_scalar(128)),
+        ];
+        for _ in 0..4 {
+            scalars.push(Scalar::random(&mut rng));
+        }
+        scalars
+    }
+
+    #[test]
+    fn ct_fixed_base_matches_vartime() {
+        let g = AffinePoint::generator();
+        for (i, k) in edge_scalars().iter().enumerate() {
+            assert_eq!(mul_generator_ct(k), mul_generator_vartime(k), "scalar {i}");
+            assert_eq!(
+                mul_generator_ct_jacobian(k).to_affine(),
+                mul_generator_vartime(k),
+                "jacobian, scalar {i}"
+            );
+        }
+        assert!(mul_generator_ct(&Scalar::zero()).infinity);
+        assert_eq!(mul_generator_ct(&Scalar::one()), g);
+    }
+
+    #[test]
+    fn ct_variable_base_matches_vartime() {
+        let mut rng = HmacDrbg::from_seed(0xC8);
+        let g = AffinePoint::generator();
+        let bases = [
+            g,
+            g.mul_vartime(&Scalar::random(&mut rng)),
+            AffinePoint::identity(),
+        ];
+        for (bi, base) in bases.iter().enumerate() {
+            for (i, k) in edge_scalars().iter().enumerate() {
+                assert_eq!(base.mul_ct(k), base.mul_vartime(k), "base {bi}, scalar {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn ct_fixed_base_schedule_is_scalar_independent() {
+        // Acceptance: exactly 64 table additions (with dummies), no
+        // doublings, for any scalar — zero-rich or dense.
+        for (i, k) in edge_scalars().iter().enumerate() {
+            let (_, counts) = ops::measure(|| mul_generator_ct(k));
+            assert_eq!(counts.ct_adds, 64, "scalar {i}: {counts:?}");
+            assert_eq!(counts.ct_doubles, 0, "scalar {i}: {counts:?}");
+            assert_eq!(counts.adds, 0, "scalar {i}: {counts:?}");
+            assert_eq!(counts.doubles, 0, "scalar {i}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn ct_variable_base_schedule_is_scalar_independent() {
+        // Acceptance: a fixed double/add schedule — 256 ct-doublings
+        // (4 per window) + 64 masked ct-additions, after a scalar-
+        // independent table setup of 7 vartime adds + 7 doublings.
+        let mut rng = HmacDrbg::from_seed(0xC9);
+        let base = JacobianPoint::from_affine(
+            &AffinePoint::generator().mul_vartime(&Scalar::random(&mut rng)),
+        );
+        let mut schedules = Vec::new();
+        for (i, k) in edge_scalars().iter().enumerate() {
+            let (_, counts) = ops::measure(|| base.mul_ct(k));
+            assert_eq!(counts.ct_doubles, 256, "scalar {i}: {counts:?}");
+            assert_eq!(counts.ct_adds, 64, "scalar {i}: {counts:?}");
+            assert_eq!(counts.adds, 7, "scalar {i}: {counts:?}");
+            assert_eq!(counts.doubles, 7, "scalar {i}: {counts:?}");
+            schedules.push(counts);
+        }
+        // Identical schedules for every pair of distinct scalars.
+        assert!(schedules.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn vartime_schedule_depends_on_scalar() {
+        // Sanity check that the counter actually distinguishes the
+        // vartime path: a sparse scalar performs fewer table additions.
+        let dense = Scalar::from_u64(1).neg(); // n − 1: ~all nibbles set
+        let sparse = Scalar::one();
+        let (_, dense_counts) = ops::measure(|| mul_generator_vartime(&dense));
+        let (_, sparse_counts) = ops::measure(|| mul_generator_vartime(&sparse));
+        assert!(sparse_counts.adds < dense_counts.adds);
+        assert_eq!(dense_counts.ct_adds, 0);
+    }
+
+    #[test]
+    fn conditional_select_points() {
+        let g = AffinePoint::generator();
+        let id = AffinePoint::identity();
+        assert_eq!(AffinePoint::conditional_select(&g, &id, u64::MAX), g);
+        assert_eq!(AffinePoint::conditional_select(&g, &id, 0), id);
+        let gj = JacobianPoint::from_affine(&g);
+        let idj = JacobianPoint::identity();
+        assert_eq!(JacobianPoint::conditional_select(&gj, &idj, u64::MAX), gj);
+        assert!(JacobianPoint::conditional_select(&gj, &idj, 0).is_identity());
+    }
+
     #[test]
     fn batch_normalize_matches_individual() {
         let mut rng = HmacDrbg::from_seed(8);
         let g = JacobianPoint::from_affine(&AffinePoint::generator());
         let mut points = vec![JacobianPoint::identity()];
         for _ in 0..5 {
-            points.push(g.mul(&Scalar::random(&mut rng)));
+            points.push(g.mul_vartime(&Scalar::random(&mut rng)));
         }
         points.push(JacobianPoint::identity());
         let batch = batch_normalize(&points);

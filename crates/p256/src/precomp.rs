@@ -65,10 +65,21 @@ impl GeneratorTable {
     }
 
     /// The precomputed point `d · 16^w · G` (`d ∈ [1, 15]`).
+    ///
+    /// Indexing by a secret digit leaks it through the data cache; the
+    /// constant-time fixed-base walk uses [`Self::window`] with a full
+    /// masked scan instead.
     #[inline]
     pub fn entry(&self, window: usize, digit: u8) -> &AffinePoint {
         debug_assert!((1..=DIGITS as u8).contains(&digit));
         &self.windows[window][digit as usize - 1]
+    }
+
+    /// All 15 entries of one window (`window[d-1] = d · 16^w · G`), for
+    /// the constant-time scan of [`crate::ct::lookup_affine`].
+    #[inline]
+    pub fn window(&self, window: usize) -> &[AffinePoint; DIGITS] {
+        &self.windows[window]
     }
 }
 
@@ -94,7 +105,11 @@ mod tests {
             for _ in 0..w {
                 scalar = scalar.mul(&Scalar::from_u64(16));
             }
-            assert_eq!(*table.entry(w, d), g.mul(&scalar), "window {w} digit {d}");
+            assert_eq!(
+                *table.entry(w, d),
+                g.mul_vartime(&scalar),
+                "window {w} digit {d}"
+            );
         }
     }
 

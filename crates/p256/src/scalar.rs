@@ -153,6 +153,12 @@ impl Scalar {
     }
 }
 
+impl ecq_crypto::zeroize::Zeroize for Scalar {
+    fn zeroize(&mut self) {
+        ecq_crypto::zeroize::Zeroize::zeroize(&mut self.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -201,6 +201,12 @@ impl U256 {
         (U256 { limbs: out }, carry == 1)
     }
 
+    /// All-ones mask when the value is zero, all-zeros otherwise,
+    /// without branching on the (possibly secret) value.
+    pub fn ct_is_zero_mask(&self) -> u64 {
+        crate::ct::is_zero_mask(self.limbs[0] | self.limbs[1] | self.limbs[2] | self.limbs[3])
+    }
+
     /// Shifts right by one bit.
     pub fn shr1(&self) -> U256 {
         let mut out = [0u64; 4];
@@ -234,6 +240,12 @@ impl Ord for U256 {
 impl From<u64> for U256 {
     fn from(v: u64) -> Self {
         U256::from_u64(v)
+    }
+}
+
+impl ecq_crypto::zeroize::Zeroize for U256 {
+    fn zeroize(&mut self) {
+        ecq_crypto::zeroize::wipe_u64s(&mut self.limbs);
     }
 }
 

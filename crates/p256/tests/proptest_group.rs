@@ -1,13 +1,15 @@
 //! Property-based tests of the elliptic-curve group: abelian group
-//! laws, scalar-multiplication homomorphism, encodings, ECDSA and ECDH
-//! over random keys. Case counts are kept low — every case costs
-//! several scalar multiplications.
+//! laws, scalar-multiplication homomorphism, ct/vartime agreement,
+//! encodings, ECDSA and ECDH over random keys. Case counts are kept
+//! low — every case costs several scalar multiplications.
 
 use ecq_crypto::HmacDrbg;
 use ecq_p256::ecdsa::{self, VerifyStrategy};
 use ecq_p256::encoding;
 use ecq_p256::keys::KeyPair;
-use ecq_p256::point::{mul_generator, multi_scalar_mul, AffinePoint};
+use ecq_p256::point::{
+    mul_generator_ct, mul_generator_vartime, multi_scalar_mul, AffinePoint, JacobianPoint,
+};
 use ecq_p256::scalar::Scalar;
 use ecq_p256::u256::U256;
 use proptest::prelude::*;
@@ -23,6 +25,27 @@ fn arb_scalar() -> impl Strategy<Value = Scalar> {
     })
 }
 
+/// Scalars with mostly-zero nibble patterns — the inputs where a
+/// leaky schedule would diverge most from the dense case.
+fn arb_sparse_scalar() -> impl Strategy<Value = Scalar> {
+    (0usize..64, 1u64..16).prop_map(|(window, digit)| {
+        let mut bytes = [0u8; 32];
+        let bit = 4 * window;
+        bytes[31 - bit / 8] = (digit as u8) << (bit % 8);
+        Scalar::from_reduced(&U256::from_be_bytes(&bytes))
+    })
+}
+
+/// The fixed edge cases every ct/vartime agreement property includes.
+fn edge_scalars() -> Vec<Scalar> {
+    vec![
+        Scalar::zero(),
+        Scalar::one(),
+        Scalar::from_u64(1).neg(), // n − 1
+        Scalar::from_u64(15),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -30,28 +53,53 @@ proptest! {
     fn scalar_mul_is_homomorphic(a in arb_scalar(), b in arb_scalar()) {
         // (a+b)G = aG + bG and (a·b)G = a(bG).
         let g = AffinePoint::generator();
-        prop_assert_eq!(g.mul(&a.add(&b)), g.mul(&a).add(&g.mul(&b)));
-        prop_assert_eq!(g.mul(&a.mul(&b)), g.mul(&b).mul(&a));
+        prop_assert_eq!(
+            g.mul_vartime(&a.add(&b)),
+            g.mul_vartime(&a).add(&g.mul_vartime(&b))
+        );
+        prop_assert_eq!(g.mul_vartime(&a.mul(&b)), g.mul_vartime(&b).mul_vartime(&a));
     }
 
     #[test]
     fn group_is_abelian(a in arb_scalar(), b in arb_scalar()) {
-        let p = mul_generator(&a);
-        let q = mul_generator(&b);
+        let p = mul_generator_vartime(&a);
+        let q = mul_generator_vartime(&b);
         prop_assert_eq!(p.add(&q), q.add(&p));
         prop_assert!(p.add(&q).is_on_curve());
     }
 
     #[test]
     fn negation_cancels(a in arb_scalar()) {
-        let p = mul_generator(&a);
+        let p = mul_generator_vartime(&a);
         prop_assert!(p.add(&p.neg()).infinity);
-        prop_assert_eq!(mul_generator(&a.neg()), p.neg());
+        prop_assert_eq!(mul_generator_vartime(&a.neg()), p.neg());
+    }
+
+    #[test]
+    fn ct_fixed_base_agrees_with_vartime(a in arb_scalar(), sparse in arb_sparse_scalar()) {
+        for k in [a, sparse].into_iter().chain(edge_scalars()) {
+            prop_assert_eq!(mul_generator_ct(&k), mul_generator_vartime(&k));
+        }
+    }
+
+    #[test]
+    fn ct_variable_base_agrees_with_vartime(
+        base_scalar in arb_scalar(),
+        a in arb_scalar(),
+        sparse in arb_sparse_scalar(),
+    ) {
+        let base = mul_generator_vartime(&base_scalar);
+        for k in [a, sparse].into_iter().chain(edge_scalars()) {
+            prop_assert_eq!(base.mul_ct(&k), base.mul_vartime(&k));
+        }
+        // Jacobian entry point, non-unit Z: double the lifted base.
+        let jac = JacobianPoint::from_affine(&base).double();
+        prop_assert_eq!(jac.mul_ct(&a), jac.mul_vartime(&a));
     }
 
     #[test]
     fn encodings_roundtrip(a in arb_scalar()) {
-        let p = mul_generator(&a);
+        let p = mul_generator_vartime(&a);
         prop_assert_eq!(encoding::decode_compressed(&encoding::encode_compressed(&p)).unwrap(), p);
         prop_assert_eq!(encoding::decode_raw(&encoding::encode_raw(&p)).unwrap(), p);
         prop_assert_eq!(
@@ -63,10 +111,10 @@ proptest! {
     #[test]
     fn shamir_equals_naive(a in arb_scalar(), b in arb_scalar(), q_scalar in arb_scalar()) {
         let g = AffinePoint::generator();
-        let q = mul_generator(&q_scalar);
+        let q = mul_generator_vartime(&q_scalar);
         prop_assert_eq!(
             multi_scalar_mul(&a, &g, &b, &q),
-            g.mul(&a).add(&q.mul(&b))
+            g.mul_vartime(&a).add(&q.mul_vartime(&b))
         );
     }
 

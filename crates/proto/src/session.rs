@@ -7,6 +7,7 @@
 
 use ecq_crypto::ctr::{aes128_ctr_apply, NONCE_LEN};
 use ecq_crypto::hkdf::hkdf_sha256;
+use ecq_crypto::zeroize::Zeroize;
 
 /// Length of the derived session secret in bytes.
 pub const SESSION_KEY_LEN: usize = 32;
@@ -64,6 +65,15 @@ impl SessionKey {
     }
 }
 
+impl Zeroize for SessionKey {
+    /// Wipes the key bytes (volatile stores; see
+    /// [`ecq_crypto::zeroize`]). The STS endpoints and
+    /// `SessionManager` call this when their state drops.
+    fn zeroize(&mut self) {
+        self.bytes.zeroize();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +112,12 @@ mod tests {
         let dbg = format!("{k:?}");
         assert!(!dbg.contains("abab"));
         assert!(dbg.contains("fp:"));
+    }
+
+    #[test]
+    fn zeroize_wipes_key_bytes() {
+        let mut k = SessionKey::from_bytes([0xab; 32]);
+        k.zeroize();
+        assert_eq!(k.as_bytes(), &[0u8; 32]);
     }
 }

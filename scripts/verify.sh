@@ -10,6 +10,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The constant-time suite (ct/vartime equivalence proptests + the
+# group-op schedule counters) re-runs in release mode: the dev profile
+# keeps debug assertions and different overflow semantics, and the ct
+# guarantees must hold for the optimized code that ships.
+echo "==> cargo test --release -p ecq_p256 (constant-time suite)"
+cargo test --release -q -p ecq_p256
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
