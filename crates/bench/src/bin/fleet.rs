@@ -1,31 +1,292 @@
-//! Fleet throughput sweep: batch-enrolls and key-establishes a
-//! 1000-device fleet, reporting host wall-clock throughput plus the
-//! simulated per-board throughput from the cost models.
+//! Fleet throughput sweep and the CI perf gate.
+//!
+//! Default run: batch-enrolls a 1000-device fleet, establishes every
+//! pair at message granularity over the simnet transport (handshakes
+//! interleaved on the virtual timeline, sharded across host threads),
+//! then reports host wall-clock and simulated throughput, plus the
+//! legacy atomic lifecycle and per-board sweeps.
 //!
 //! ```sh
 //! cargo run --release --bin fleet
+//! # CI smoke: determinism check across thread counts + perf gate
+//! cargo run --release --bin fleet -- --smoke --json BENCH_fleet.json \
+//!     --baseline ci/BENCH_fleet_baseline.json --gate-pct 20
 //! ```
+//!
+//! `--smoke` runs the interleaved sweep once per requested thread
+//! count, fails (exit 1) if any `(config, seed)` report differs across
+//! thread counts, writes the `BENCH_fleet.json` artifact, and — when a
+//! baseline is given — fails if host handshake throughput regressed
+//! more than `--gate-pct` percent. Regenerate the committed baseline on
+//! a CI-class runner with `--write-baseline ci/BENCH_fleet_baseline.json`.
 
 use ecq_devices::DevicePreset;
-use ecq_fleet::{FleetConfig, FleetCoordinator};
+use ecq_fleet::{FleetConfig, FleetCoordinator, FleetReport, SweepOptions, TransportKind};
+use std::process::ExitCode;
 use std::time::Instant;
 
-const DEVICES: usize = 1000;
-const SHARDS: usize = 8;
-const BATCH: usize = 64;
-const EPOCHS: u32 = 2;
+struct Args {
+    devices: usize,
+    shards: usize,
+    batch: usize,
+    epochs: u32,
+    seed: u64,
+    threads: Vec<usize>,
+    json: Option<String>,
+    baseline: Option<String>,
+    write_baseline: Option<String>,
+    gate_pct: f64,
+    smoke: bool,
+}
 
-fn main() {
-    println!("fleet sweep: {DEVICES} devices, {SHARDS} CA shards, batches of {BATCH}\n");
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            devices: 1000,
+            shards: 8,
+            batch: 64,
+            epochs: 2,
+            seed: 0xF1EE7,
+            threads: vec![1, 2, 8],
+            json: None,
+            baseline: None,
+            write_baseline: None,
+            gate_pct: 20.0,
+            smoke: false,
+        }
+    }
+}
 
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: DEVICES,
-        ca_shards: SHARDS,
-        enroll_batch: BATCH,
-        seed: 0xF1EE7,
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--devices" => {
+                args.devices = value("--devices")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--batch" => args.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => args.epochs = value("--epochs")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => {
+                args.threads = value("--threads")?
+                    .split(',')
+                    .map(|t| t.trim().parse().map_err(|e| format!("{e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.threads.is_empty() {
+                    return Err("--threads needs at least one count".into());
+                }
+            }
+            "--json" => args.json = Some(value("--json")?),
+            "--baseline" => args.baseline = Some(value("--baseline")?),
+            "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
+            "--gate-pct" => {
+                args.gate_pct = value("--gate-pct")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--smoke" => args.smoke = true,
+            other => {
+                return Err(format!(
+                    "unknown flag {other} (see --smoke docs in the source)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn config(args: &Args) -> FleetConfig {
+    FleetConfig {
+        devices: args.devices,
+        ca_shards: args.shards,
+        enroll_batch: args.batch,
+        seed: args.seed,
         ..FleetConfig::default()
-    });
+    }
+}
 
+/// One interleaved establishment sweep; returns the report and the
+/// sweep's host wall-clock seconds.
+fn interleaved_run(args: &Args, threads: usize) -> (FleetReport, f64) {
+    let mut fleet = FleetCoordinator::new(config(args));
+    fleet.enroll_all().expect("enrollment");
+    let t = Instant::now();
+    fleet
+        .interleaved_sweep(&SweepOptions {
+            threads,
+            transport: TransportKind::Simnet,
+        })
+        .expect("interleaved sweep");
+    (fleet.report().clone(), t.elapsed().as_secs_f64())
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn bench_json(
+    args: &Args,
+    report: &FleetReport,
+    deterministic: bool,
+    hs_per_sec: f64,
+    best_threads: usize,
+) -> String {
+    let digest = report.key_digest.map(|d| hex(&d)).unwrap_or_default();
+    let threads: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\n  \"schema\": \"bench-fleet-v1\",\n  \"devices\": {},\n  \"shards\": {},\n  \"seed\": {},\n  \"sessions\": {},\n  \"threads\": [{}],\n  \"deterministic\": {},\n  \"handshakes_per_sec_host\": {:.2},\n  \"best_thread_count\": {},\n  \"virtual_makespan_us\": {},\n  \"virtual_handshakes_per_sec\": {:.2},\n  \"messages\": {},\n  \"wire_bytes\": {},\n  \"can_frames\": {},\n  \"key_digest\": \"{}\"\n}}\n",
+        report.devices,
+        report.shards,
+        args.seed,
+        report.sessions,
+        threads.join(", "),
+        deterministic,
+        hs_per_sec,
+        best_threads,
+        report.handshake_makespan_us,
+        report.handshakes_per_virtual_sec(),
+        report.messages,
+        report.wire_bytes,
+        report.can_frames,
+        digest,
+    )
+}
+
+/// Pulls `"handshakes_per_sec_host": <f64>` out of a baseline file
+/// (hand-rolled: the workspace carries no JSON dependency).
+fn baseline_throughput(path: &str) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let key = "\"handshakes_per_sec_host\":";
+    let at = text
+        .find(key)
+        .ok_or_else(|| format!("{path}: no handshakes_per_sec_host field"))?;
+    let rest = text[at + key.len()..]
+        .trim_start()
+        .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
+        .next()
+        .unwrap_or_default();
+    rest.parse()
+        .map_err(|e| format!("{path}: bad throughput number: {e}"))
+}
+
+/// CI smoke: thread-count determinism check + artifact + perf gate.
+fn smoke(args: &Args) -> ExitCode {
+    println!(
+        "fleet smoke: {} devices, {} shards, interleaved simnet sweep, threads {:?}",
+        args.devices, args.shards, args.threads
+    );
+    let mut reference: Option<FleetReport> = None;
+    let mut deterministic = true;
+    let mut best = (args.threads[0], 0.0f64);
+    for &threads in &args.threads {
+        let (report, wall) = interleaved_run(args, threads);
+        let hs_per_sec = report.handshakes as f64 / wall.max(1e-9);
+        println!(
+            "  threads={threads:<3} {:6} handshakes in {wall:7.3}s host  ({hs_per_sec:9.1} hs/s), \
+             virtual makespan {:.3}s",
+            report.handshakes,
+            report.handshake_makespan_us as f64 / 1e6,
+        );
+        if hs_per_sec > best.1 {
+            best = (threads, hs_per_sec);
+        }
+        match &reference {
+            None => reference = Some(report),
+            Some(expected) => {
+                if *expected != report {
+                    eprintln!(
+                        "DETERMINISM FAILURE: report with {threads} threads differs from \
+                         {}-thread report for the same (config, seed)",
+                        args.threads[0]
+                    );
+                    deterministic = false;
+                }
+            }
+        }
+    }
+    let report = reference.expect("at least one thread count");
+    // A single requested thread count compares nothing, so it must not
+    // claim a cross-thread determinism result.
+    let deterministic = deterministic && args.threads.len() > 1;
+    if deterministic {
+        println!(
+            "  deterministic across {:?} worker threads (key digest {})",
+            args.threads,
+            report.key_digest.map(|d| hex(&d[..8])).unwrap_or_default()
+        );
+    }
+
+    // Write the artifact before any gate verdict: when CI goes red, the
+    // numbers explaining why must survive as the uploaded artifact.
+    let json = bench_json(args, &report, deterministic, best.1, best.0);
+    for path in args.json.iter().chain(args.write_baseline.iter()) {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("  wrote {path}");
+    }
+    if !deterministic && args.threads.len() > 1 {
+        return ExitCode::FAILURE;
+    }
+
+    if let Some(path) = &args.baseline {
+        match baseline_throughput(path) {
+            Ok(floor_src) => {
+                let floor = floor_src * (1.0 - args.gate_pct / 100.0);
+                println!(
+                    "  perf gate: {:.1} hs/s measured vs {floor:.1} hs/s floor \
+                     (baseline {floor_src:.1} − {}%)",
+                    best.1, args.gate_pct
+                );
+                if best.1 < floor {
+                    eprintln!(
+                        "PERF REGRESSION: {:.1} hs/s is more than {}% below the committed \
+                         baseline {floor_src:.1} hs/s ({path})",
+                        best.1, args.gate_pct
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot evaluate perf gate: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("fleet smoke OK");
+    ExitCode::SUCCESS
+}
+
+/// The full human-readable sweep (default mode).
+fn full_run(args: &Args) -> ExitCode {
+    let devices = args.devices;
+    let threads = args.threads.iter().copied().max().unwrap_or(1);
+    println!(
+        "fleet sweep: {devices} devices, {} CA shards, batches of {}\n",
+        args.shards, args.batch
+    );
+
+    // Interleaved establishment over the simnet transport.
+    let (report, wall) = interleaved_run(args, threads);
+    println!("interleaved simnet sweep ({threads} host threads, message-granularity events):");
+    println!(
+        "  handshakes : {:8.0} hs/s      ({} sessions in {:.2?}; {} wire messages, {} CAN frames)",
+        report.handshakes as f64 / wall.max(1e-9),
+        report.handshakes,
+        std::time::Duration::from_secs_f64(wall),
+        report.messages,
+        report.can_frames,
+    );
+    println!(
+        "  simulated  : {:8.1} hs/s      (virtual makespan {:.2} s, pairs interleaved)",
+        report.handshakes_per_virtual_sec(),
+        report.handshake_makespan_us as f64 / 1e6,
+    );
+
+    // Legacy atomic lifecycle (enroll + sweep + rekey epochs).
+    let mut fleet = FleetCoordinator::new(config(args));
     let t = Instant::now();
     fleet.enroll_all().expect("enrollment");
     let enroll_wall = t.elapsed();
@@ -33,11 +294,11 @@ fn main() {
     fleet.handshake_sweep().expect("handshakes");
     let handshake_wall = t.elapsed();
     let t = Instant::now();
-    fleet.run_epochs(EPOCHS).expect("rekey epochs");
+    fleet.run_epochs(args.epochs).expect("rekey epochs");
     let epoch_wall = t.elapsed();
 
     let r = fleet.report().clone();
-    println!("host wall-clock (real cryptography, all boards interleaved):");
+    println!("\nhost wall-clock, atomic lifecycle (real cryptography, all boards interleaved):");
     println!(
         "  enrollment : {:8.0} enroll/s  ({} devices in {:.2?}, {} batches)",
         r.enrolled as f64 / enroll_wall.as_secs_f64(),
@@ -55,31 +316,24 @@ fn main() {
         "  rekeys     : {:8.0} rekey/s   ({} rekeys over {} epochs in {:.2?})",
         r.rekeys as f64 / epoch_wall.as_secs_f64(),
         r.rekeys,
-        EPOCHS,
+        args.epochs,
         epoch_wall,
     );
-
-    println!("\nsimulated fleet (mixed presets, cost-model virtual time):");
     println!(
-        "  enrollment : {:8.1} enroll/s  (makespan {:.2} s across {} shards)",
+        "\nsimulated enrollment: {:.1} enroll/s (makespan {:.2} s across {} shards)",
         r.enrollments_per_virtual_sec(),
         r.enroll_makespan_us as f64 / 1e6,
         r.shards,
     );
-    println!(
-        "  handshakes : {:8.1} hs/s      (makespan {:.2} s, pairs concurrent)",
-        r.handshakes_per_virtual_sec(),
-        r.handshake_makespan_us as f64 / 1e6,
-    );
 
     // Per-preset sweeps: a homogeneous fleet of each evaluation board.
-    println!("\nper-board simulated throughput ({DEVICES} devices, homogeneous fleet):");
+    println!("\nper-board simulated throughput ({devices} devices, homogeneous fleet):");
     println!(
         "  {:<14}{:>16}{:>16}{:>12}",
         "board", "enroll/s", "handshake/s", "rekeys"
     );
     for preset in DevicePreset::ALL {
-        let report = homogeneous_sweep(preset);
+        let report = homogeneous_sweep(args, preset);
         println!(
             "  {:<14}{:>16.1}{:>16.2}{:>12}",
             format!("{preset:?}"),
@@ -88,19 +342,32 @@ fn main() {
             report.rekeys,
         );
     }
+    ExitCode::SUCCESS
 }
 
 /// Runs the lifecycle on a fleet where every device simulates `preset`
 /// (the roster's round-robin is collapsed by overriding the presets).
-fn homogeneous_sweep(preset: DevicePreset) -> ecq_fleet::FleetReport {
+fn homogeneous_sweep(args: &Args, preset: DevicePreset) -> FleetReport {
     let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: DEVICES,
-        ca_shards: SHARDS,
-        enroll_batch: BATCH,
-        seed: 0xF1EE7 ^ preset as u64,
-        ..FleetConfig::default()
+        seed: args.seed ^ preset as u64,
+        ..config(args)
     });
     fleet.set_preset_all(preset);
-    fleet.run_lifecycle(EPOCHS).expect("lifecycle");
+    fleet.run_lifecycle(args.epochs).expect("lifecycle");
     fleet.report().clone()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.smoke {
+        smoke(&args)
+    } else {
+        full_run(&args)
+    }
 }

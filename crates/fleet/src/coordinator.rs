@@ -2,14 +2,17 @@
 //! policy-driven rekey epochs over the deterministic scheduler.
 
 use crate::device::SimDevice;
+use crate::interleave::{self, DeliveryRecord, SessionWork, SweepOptions};
 use crate::pool::CaPool;
 use crate::report::FleetReport;
 use crate::scheduler::{micros_from_ms, EventScheduler, VirtualTime};
 use crate::FleetError;
 use ecq_cert::requester::CertRequester;
+use ecq_cert::{CertError, RevocationList};
+use ecq_crypto::sha256::Sha256;
 use ecq_crypto::HmacDrbg;
 use ecq_devices::{DevicePreset, DeviceProfile};
-use ecq_proto::{Credentials, ProtocolKind, SessionKey};
+use ecq_proto::{Credentials, ProtocolError, ProtocolKind, SessionKey};
 use ecq_sts::{RekeyPolicy, SessionManager, StsConfig, StsVariant};
 
 /// Parameters of a fleet run. Everything — device count, sharding,
@@ -61,6 +64,7 @@ pub struct PairSession {
     pub b: usize,
     manager: SessionManager,
     last_key: Option<SessionKey>,
+    failure: Option<FleetError>,
 }
 
 impl PairSession {
@@ -72,6 +76,13 @@ impl PairSession {
     /// The most recent session key, once established.
     pub fn last_key(&self) -> Option<&SessionKey> {
         self.last_key.as_ref()
+    }
+
+    /// Why this session most recently failed (e.g.
+    /// [`ecq_cert::CertError::Revoked`] after a mid-run revocation),
+    /// if it did.
+    pub fn failure(&self) -> Option<&FleetError> {
+        self.failure.as_ref()
     }
 }
 
@@ -109,6 +120,8 @@ pub struct FleetCoordinator {
     session_rng: HmacDrbg,
     sessions: Vec<PairSession>,
     gateway: DeviceProfile,
+    crl: RevocationList,
+    last_deliveries: Vec<DeliveryRecord>,
     report: FleetReport,
 }
 
@@ -146,6 +159,8 @@ impl FleetCoordinator {
             session_rng: HmacDrbg::new(&master.bytes32(), b"fleet-sessions"),
             sessions: Vec::new(),
             gateway: DevicePreset::RaspberryPi4.profile(),
+            crl: RevocationList::new(),
+            last_deliveries: Vec::new(),
             report,
         }
     }
@@ -288,6 +303,179 @@ impl FleetCoordinator {
         Ok(())
     }
 
+    /// Pairs consecutive enrolled devices within each shard, creating
+    /// one managed session per pair; per-pair seeds are drawn from the
+    /// session DRBG in session-index order (so RNG streams do not
+    /// depend on how a later sweep shards work across threads).
+    /// Returns the per-pair seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when sessions already exist: each coordinator runs
+    /// exactly one establishment sweep (atomic or interleaved).
+    fn create_sessions(&mut self) -> Vec<[u8; 32]> {
+        assert!(
+            self.sessions.is_empty(),
+            "an establishment sweep runs once per coordinator"
+        );
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.pool.shard_count()];
+        for d in &self.devices {
+            if d.is_enrolled() {
+                by_shard[d.shard].push(d.index);
+            }
+        }
+        let mut seeds = Vec::new();
+        for list in &by_shard {
+            for pair in list.chunks_exact(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let pair_seed = self.session_rng.bytes32();
+                let manager = SessionManager::new(
+                    self.devices[a].credentials.clone().expect("enrolled"),
+                    self.devices[b].credentials.clone().expect("enrolled"),
+                    self.config.rekey,
+                    StsConfig {
+                        now: self.config.valid_from,
+                        variant: self.config.variant,
+                    },
+                    HmacDrbg::new(&pair_seed, b"fleet-pair"),
+                );
+                self.sessions.push(PairSession {
+                    a,
+                    b,
+                    manager,
+                    last_key: None,
+                    failure: None,
+                });
+                seeds.push(pair_seed);
+            }
+        }
+        self.report.sessions = self.sessions.len();
+        seeds
+    }
+
+    /// Whether either participant of `session` holds a revoked
+    /// certificate.
+    fn session_revoked(&self, session: usize) -> bool {
+        let serial = |i: usize| {
+            self.devices[i]
+                .credentials
+                .as_ref()
+                .expect("enrolled")
+                .cert
+                .serial
+        };
+        let s = &self.sessions[session];
+        self.crl.is_revoked(serial(s.a)) || self.crl.is_revoked(serial(s.b))
+    }
+
+    /// Pairs devices like [`Self::handshake_sweep`] and establishes
+    /// every pair's first session at **message granularity**: each STS
+    /// wire message is delivered as its own scheduler event over the
+    /// configured transport, so handshakes interleave on the virtual
+    /// timeline, and sessions shard across
+    /// [`SweepOptions::threads`] host workers (the report is
+    /// bit-identical for any thread count — see
+    /// [`crate::interleave`]).
+    ///
+    /// Sessions whose participants are on the revocation list are
+    /// denied ([`ecq_cert::CertError::Revoked`] recorded on the
+    /// session, [`FleetReport::denied_revoked`] counted) while the
+    /// rest of the fleet completes.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Protocol`] when a non-revocation handshake
+    /// failure occurs (impossible for well-formed rosters).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after another establishment sweep.
+    pub fn interleaved_sweep(&mut self, opts: &SweepOptions) -> Result<(), FleetError> {
+        let seeds = self.create_sessions();
+        let now = self.config.valid_from;
+        let work: Vec<SessionWork> = self
+            .sessions
+            .iter()
+            .zip(&seeds)
+            .enumerate()
+            .map(|(index, (s, seed))| SessionWork {
+                index,
+                creds_a: self.devices[s.a].credentials.clone().expect("enrolled"),
+                creds_b: self.devices[s.b].credentials.clone().expect("enrolled"),
+                preset_a: self.devices[s.a].preset,
+                preset_b: self.devices[s.b].preset,
+                wire_seed: *seed,
+                now,
+                variant: self.config.variant,
+                denied: self.session_revoked(index),
+            })
+            .collect();
+
+        let (results, log) = interleave::run_sweep(&work, opts.threads, &opts.transport);
+        self.last_deliveries = log;
+
+        let mut digest = Sha256::new();
+        let mut makespan: VirtualTime = 0;
+        let mut first_failure: Option<FleetError> = None;
+        for (index, result) in results.into_iter().enumerate() {
+            let session = &mut self.sessions[index];
+            digest.update(&(index as u64).to_be_bytes());
+            if work[index].denied {
+                session.failure = Some(FleetError::Protocol(ProtocolError::Cert(
+                    CertError::Revoked,
+                )));
+                self.report.denied_revoked += 1;
+                digest.update(b"denied:revoked");
+            } else if let Some(err) = result.failure {
+                session.failure = Some(FleetError::Protocol(err));
+                first_failure.get_or_insert(FleetError::Protocol(err));
+                digest.update(b"failed");
+            } else {
+                session.last_key = Some(result.key.expect("completed sessions carry a key"));
+                digest.update(result.key.expect("checked").as_bytes());
+                self.report.handshakes += 1;
+            }
+            makespan = makespan.max(result.end_us);
+            self.report.messages += result.messages;
+            self.report.wire_bytes += result.wire_bytes;
+            self.report.can_frames += result.frames;
+        }
+        self.report.handshake_makespan_us = makespan;
+        self.report.key_digest = Some(digest.finalize());
+        match first_failure {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
+    /// The per-worker message-delivery log of the last
+    /// [`Self::interleaved_sweep`] (diagnostic: shows cross-session
+    /// interleaving at message granularity; ordering is per worker, so
+    /// it is *not* part of the deterministic report).
+    pub fn last_deliveries(&self) -> &[DeliveryRecord] {
+        &self.last_deliveries
+    }
+
+    /// Revokes the certificate of roster device `index` on the
+    /// coordinator's revocation list. Subsequent handshakes involving
+    /// the device are denied with [`ecq_cert::CertError::Revoked`];
+    /// established keys stay valid until their epoch ends (revocation
+    /// stops *future* sessions — Table III, node capture).
+    ///
+    /// Returns `false` when the device is not enrolled or was already
+    /// revoked.
+    pub fn revoke_device(&mut self, index: usize) -> bool {
+        match self.devices.get(index).and_then(|d| d.credentials.as_ref()) {
+            Some(creds) => self.crl.revoke(creds.cert.serial),
+            None => false,
+        }
+    }
+
+    /// The coordinator's revocation list.
+    pub fn revocation_list(&self) -> &RevocationList {
+        &self.crl
+    }
+
     /// Pairs consecutive enrolled devices within each shard and runs
     /// every pair's first STS establishment concurrently.
     ///
@@ -307,38 +495,7 @@ impl FleetCoordinator {
     /// Panics when called a second time (the pair sessions already
     /// exist and a second sweep would double-count them).
     pub fn handshake_sweep(&mut self) -> Result<(), FleetError> {
-        assert!(
-            self.sessions.is_empty(),
-            "handshake_sweep runs once per coordinator"
-        );
-        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.pool.shard_count()];
-        for d in &self.devices {
-            if d.is_enrolled() {
-                by_shard[d.shard].push(d.index);
-            }
-        }
-        for list in &by_shard {
-            for pair in list.chunks_exact(2) {
-                let (a, b) = (pair[0], pair[1]);
-                let manager = SessionManager::new(
-                    self.devices[a].credentials.clone().expect("enrolled"),
-                    self.devices[b].credentials.clone().expect("enrolled"),
-                    self.config.rekey,
-                    StsConfig {
-                        now: self.config.valid_from,
-                        variant: self.config.variant,
-                    },
-                    HmacDrbg::new(&self.session_rng.bytes32(), b"fleet-pair"),
-                );
-                self.sessions.push(PairSession {
-                    a,
-                    b,
-                    manager,
-                    last_key: None,
-                });
-            }
-        }
-        self.report.sessions = self.sessions.len();
+        self.create_sessions();
         let mut scheduler = EventScheduler::new();
         for s in 0..self.sessions.len() {
             scheduler.schedule_at(0, SessionEvent::Handshake { session: s });
@@ -366,6 +523,12 @@ impl FleetCoordinator {
     /// tick each [`RekeyPolicy::max_age_secs`], and the manager
     /// transparently re-establishes when the key has aged out.
     ///
+    /// Sessions with a revoked participant are denied instead of
+    /// rekeyed: the tick records [`ecq_cert::CertError::Revoked`] on
+    /// the session and counts into [`FleetReport::denied_revoked`],
+    /// while every other session proceeds — revoking one device never
+    /// stalls the fleet.
+    ///
     /// # Errors
     ///
     /// [`FleetError::Protocol`] when a rekey handshake fails (e.g. the
@@ -383,6 +546,14 @@ impl FleetCoordinator {
             let SessionEvent::RekeyTick { session } = event else {
                 continue;
             };
+            if self.session_revoked(session) {
+                self.sessions[session].failure = Some(FleetError::Protocol(ProtocolError::Cert(
+                    CertError::Revoked,
+                )));
+                self.report.denied_revoked += 1;
+                end = end.max(at);
+                continue;
+            }
             let now = self.deploy_secs(at);
             let before = self.sessions[session].manager.rekey_count();
             let key = self.sessions[session].manager.key_for(now)?;

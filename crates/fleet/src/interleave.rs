@@ -1,0 +1,352 @@
+//! Message-granularity handshake sweeps: every wire message is its own
+//! scheduler event, and device populations shard across host threads.
+//!
+//! The atomic sweep ([`crate::FleetCoordinator::handshake_sweep`])
+//! completes a whole handshake inside one scheduler event — nothing can
+//! interleave. This module decomposes each STS establishment into its
+//! four wire messages (`A1 B1 A2 B2`): an endpoint's
+//! [`ecq_proto::Endpoint::step`] runs when its message *arrives*, its
+//! compute time is integrated from the primitive-operation trace it
+//! recorded during that step (against the board's `ecq_devices` cost
+//! table), and the reply goes back to the transport, which decides the
+//! next delivery time. A thousand devices' handshakes genuinely
+//! interleave on the virtual timeline, at message granularity.
+//!
+//! # Parallelism / determinism contract
+//!
+//! Each pair owns a private point-to-point link (the paper's two-ECU
+//! prototype), so sessions share no simulation state; a session's
+//! entire result is a pure function of `(config, seed, session index)`.
+//! The sweep shards sessions into contiguous ranges, one per worker
+//! thread, each worker interleaving its range under its own virtual
+//! clock, and results aggregate in session-index order — so a
+//! `(config, seed)` report is bit-identical for any worker count.
+
+use crate::scheduler::{micros_from_ms, EventScheduler, VirtualTime};
+use ecq_crypto::HmacDrbg;
+use ecq_devices::{DevicePreset, DeviceProfile};
+use ecq_proto::transport::{ChannelTransport, Transport};
+use ecq_proto::{Credentials, Endpoint, OpTrace, ProtocolError, Role, SessionKey, StepOutput};
+use ecq_simnet::CanLink;
+use ecq_sts::{StsConfig, StsInitiator, StsResponder, StsVariant};
+
+/// Which link implementation carries the handshake messages.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// In-memory channel with a fixed per-message latency (µs).
+    Channel {
+        /// Per-message delivery latency in virtual microseconds.
+        latency_us: u64,
+    },
+    /// The simulated CAN-FD/ISO-TP stack (`ecq_simnet::CanLink`), with
+    /// per-frame driver overhead from the pair's board cost tables.
+    Simnet,
+}
+
+/// Options for an interleaved sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SweepOptions {
+    /// Host worker threads to shard the session population across
+    /// (clamped to at least 1). The report is identical for any value.
+    pub threads: usize,
+    /// Link implementation for every pair.
+    pub transport: TransportKind,
+}
+
+impl Default for SweepOptions {
+    /// One worker over the simnet transport.
+    fn default() -> Self {
+        SweepOptions {
+            threads: 1,
+            transport: TransportKind::Simnet,
+        }
+    }
+}
+
+/// One delivered wire message, in the order a worker's scheduler popped
+/// it (diagnostic evidence of interleaving; not part of the report —
+/// pop order is per-worker and therefore depends on the shard layout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// Global session index the message belongs to.
+    pub session: usize,
+    /// The paper's step label ("A1", "B1", "A2", "B2").
+    pub step: &'static str,
+    /// Virtual time the message was delivered to its endpoint.
+    pub at_us: VirtualTime,
+}
+
+/// Everything a worker needs to run one session, prepared serially by
+/// the coordinator so RNG streams derive in session-index order.
+pub(crate) struct SessionWork {
+    pub index: usize,
+    pub creds_a: Credentials,
+    pub creds_b: Credentials,
+    pub preset_a: DevicePreset,
+    pub preset_b: DevicePreset,
+    /// Per-pair seed for the wire endpoints' DRBG streams.
+    pub wire_seed: [u8; 32],
+    pub now: u32,
+    pub variant: StsVariant,
+    /// Pre-checked against the coordinator's revocation list: a denied
+    /// session never starts its handshake.
+    pub denied: bool,
+}
+
+/// Per-session outcome, aggregated in index order.
+pub(crate) struct SessionResult {
+    pub key: Option<SessionKey>,
+    pub failure: Option<ProtocolError>,
+    pub end_us: VirtualTime,
+    pub messages: u64,
+    pub wire_bytes: u64,
+    pub frames: u64,
+}
+
+/// A live session inside one worker's event loop.
+struct Live {
+    initiator: StsInitiator,
+    responder: StsResponder,
+    transport: Box<dyn Transport>,
+    profiles: [DeviceProfile; 2],
+    cursors: [usize; 2],
+    result: SessionResult,
+    done: bool,
+}
+
+enum Event {
+    /// The initiator opens its handshake (draws no message).
+    Kickoff { slot: usize },
+    /// A wire message arrives at one endpoint.
+    Deliver { slot: usize, to: Role },
+}
+
+/// Integrates the primitives an endpoint recorded since the last step.
+fn delta_cost_ms(trace: &OpTrace, cursor: &mut usize, profile: &DeviceProfile) -> f64 {
+    let entries = trace.entries();
+    let cost = entries[*cursor..]
+        .iter()
+        .map(|e| profile.cost_of(&e.op))
+        .sum();
+    *cursor = entries.len();
+    cost
+}
+
+impl Live {
+    fn endpoint_mut(&mut self, role: Role) -> &mut dyn Endpoint {
+        match role {
+            Role::Initiator => &mut self.initiator,
+            Role::Responder => &mut self.responder,
+        }
+    }
+
+    /// Runs one endpoint step and returns `(output, completion time)`;
+    /// the completion time charges the step's traced primitives against
+    /// the endpoint's board.
+    fn step(
+        &mut self,
+        role: Role,
+        incoming: Option<&ecq_proto::Message>,
+        now: VirtualTime,
+    ) -> Result<(StepOutput, VirtualTime), ProtocolError> {
+        let out = self.endpoint_mut(role).step(incoming)?;
+        let idx = match role {
+            Role::Initiator => 0,
+            Role::Responder => 1,
+        };
+        let trace = match role {
+            Role::Initiator => self.initiator.trace(),
+            Role::Responder => self.responder.trace(),
+        };
+        let cost = delta_cost_ms(trace, &mut self.cursors[idx], &self.profiles[idx]);
+        Ok((out, now + micros_from_ms(cost)))
+    }
+
+    fn finalize(&mut self, end: VirtualTime) {
+        debug_assert_eq!(
+            self.initiator.session_key().ok().map(|k| *k.as_bytes()),
+            self.responder.session_key().ok().map(|k| *k.as_bytes()),
+            "both sides must agree on the session key"
+        );
+        self.result.key = self.initiator.session_key().ok();
+        self.result.end_us = end;
+        self.result.messages = self.transport.messages_carried();
+        self.result.wire_bytes = self.transport.bytes_carried();
+        self.result.frames = self.transport.frames_carried();
+        self.done = true;
+    }
+
+    fn fail(&mut self, err: ProtocolError, at: VirtualTime) {
+        self.result.failure = Some(err);
+        self.result.end_us = at;
+        self.result.messages = self.transport.messages_carried();
+        self.result.wire_bytes = self.transport.bytes_carried();
+        self.result.frames = self.transport.frames_carried();
+        self.done = true;
+    }
+}
+
+fn make_transport(kind: &TransportKind, work: &SessionWork) -> Box<dyn Transport> {
+    match kind {
+        TransportKind::Channel { latency_us } => Box::new(ChannelTransport::new(*latency_us)),
+        TransportKind::Simnet => Box::new(CanLink::for_pair(
+            (work.index & 0xFFFF) as u16,
+            &work.preset_a.profile(),
+            &work.preset_b.profile(),
+        )),
+    }
+}
+
+/// Runs one worker's share of sessions under a single virtual clock,
+/// delivering messages as events. Returns the per-session results plus
+/// this worker's delivery log in scheduler pop order.
+fn run_worker(
+    work: &[SessionWork],
+    transport: &TransportKind,
+) -> (Vec<SessionResult>, Vec<DeliveryRecord>) {
+    let mut live: Vec<Option<Live>> = Vec::with_capacity(work.len());
+    let mut log: Vec<DeliveryRecord> = Vec::new();
+    let mut scheduler: EventScheduler<Event> = EventScheduler::new();
+    for (slot, w) in work.iter().enumerate() {
+        if w.denied {
+            live.push(None);
+            continue;
+        }
+        // Mirror `ecq_sts::establish`: one stream per role, initiator
+        // first, derived from the pair's wire seed.
+        let mut rng = HmacDrbg::new(&w.wire_seed, b"fleet-pair-wire");
+        let mut rng_a = HmacDrbg::new(&rng.bytes32(), b"sts-initiator");
+        let mut rng_b = HmacDrbg::new(&rng.bytes32(), b"sts-responder");
+        let config = StsConfig {
+            now: w.now,
+            variant: w.variant,
+        };
+        live.push(Some(Live {
+            initiator: StsInitiator::new(w.creds_a.clone(), config, &mut rng_a),
+            responder: StsResponder::new(w.creds_b.clone(), config, &mut rng_b),
+            transport: make_transport(transport, w),
+            profiles: [w.preset_a.profile(), w.preset_b.profile()],
+            cursors: [0, 0],
+            result: SessionResult {
+                key: None,
+                failure: None,
+                end_us: 0,
+                messages: 0,
+                wire_bytes: 0,
+                frames: 0,
+            },
+            done: false,
+        }));
+        scheduler.schedule_at(0, Event::Kickoff { slot });
+    }
+
+    while let Some((now, event)) = scheduler.next_event() {
+        match event {
+            Event::Kickoff { slot } => {
+                let session = live[slot].as_mut().expect("kickoff only for live slots");
+                match session.step(Role::Initiator, None, now) {
+                    Ok((StepOutput::Send(msg), done_at)) => {
+                        let arrival = session.transport.send(Role::Initiator, msg, done_at);
+                        scheduler.schedule_at(
+                            arrival,
+                            Event::Deliver {
+                                slot,
+                                to: Role::Responder,
+                            },
+                        );
+                    }
+                    Ok((_, done_at)) => session.fail(ProtocolError::Stalled, done_at),
+                    Err(e) => session.fail(e, now),
+                }
+            }
+            Event::Deliver { slot, to } => {
+                let index = work[slot].index;
+                let session = live[slot].as_mut().expect("deliveries only for live slots");
+                if session.done {
+                    continue;
+                }
+                let msg = session
+                    .transport
+                    .recv(to, now)
+                    .expect("scheduled delivery is due");
+                log.push(DeliveryRecord {
+                    session: index,
+                    step: msg.step,
+                    at_us: now,
+                });
+                match session.step(to, Some(&msg), now) {
+                    Ok((StepOutput::Send(reply), done_at)) => {
+                        let arrival = session.transport.send(to, reply, done_at);
+                        scheduler.schedule_at(
+                            arrival,
+                            Event::Deliver {
+                                slot,
+                                to: to.peer(),
+                            },
+                        );
+                        // A responder that just sent B2 is established;
+                        // the session finishes when the initiator
+                        // consumes it.
+                    }
+                    Ok((_, done_at)) => {
+                        if session.initiator.is_established() && session.responder.is_established()
+                        {
+                            session.finalize(done_at);
+                        } else if !session.done {
+                            // Waiting with nothing in flight cannot
+                            // happen in a two-party alternating
+                            // handshake; treat it as a stall.
+                            session.fail(ProtocolError::Stalled, done_at);
+                        }
+                    }
+                    Err(e) => session.fail(e, now),
+                }
+            }
+        }
+    }
+
+    let results = live
+        .into_iter()
+        .map(|slot| match slot {
+            Some(l) => l.result,
+            None => SessionResult {
+                key: None,
+                failure: None, // the coordinator records the CRL denial
+                end_us: 0,
+                messages: 0,
+                wire_bytes: 0,
+                frames: 0,
+            },
+        })
+        .collect();
+    (results, log)
+}
+
+/// Shards `work` into contiguous ranges and runs them on `threads`
+/// workers; results come back in session-index order regardless of the
+/// thread count.
+pub(crate) fn run_sweep(
+    work: &[SessionWork],
+    threads: usize,
+    transport: &TransportKind,
+) -> (Vec<SessionResult>, Vec<DeliveryRecord>) {
+    let threads = threads.max(1).min(work.len().max(1));
+    if threads <= 1 {
+        return run_worker(work, transport);
+    }
+    let chunk = work.len().div_ceil(threads);
+    let mut results: Vec<SessionResult> = Vec::with_capacity(work.len());
+    let mut log: Vec<DeliveryRecord> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .map(|shard| scope.spawn(move || run_worker(shard, transport)))
+            .collect();
+        for handle in handles {
+            let (shard_results, shard_log) = handle.join().expect("sweep worker panicked");
+            results.extend(shard_results);
+            log.extend(shard_log);
+        }
+    });
+    (results, log)
+}

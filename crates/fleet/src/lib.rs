@@ -47,12 +47,14 @@
 
 pub mod coordinator;
 pub mod device;
+pub mod interleave;
 pub mod pool;
 pub mod report;
 pub mod scheduler;
 
 pub use coordinator::{FleetConfig, FleetCoordinator, PairSession};
 pub use device::SimDevice;
+pub use interleave::{DeliveryRecord, SweepOptions, TransportKind};
 pub use pool::CaPool;
 pub use report::FleetReport;
 pub use scheduler::{EventScheduler, VirtualTime};

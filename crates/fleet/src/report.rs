@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 /// so two runs with the same seed produce the same report. Wall-clock
 /// throughput of the host is measured separately by the `fleet` bench
 /// binary.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FleetReport {
     /// Devices in the roster.
     pub devices: usize,
@@ -35,6 +35,20 @@ pub struct FleetReport {
     pub handshake_makespan_us: VirtualTime,
     /// Virtual time at the end of the rekey-epoch phase, microseconds.
     pub epoch_end_us: VirtualTime,
+    /// Wire messages delivered as individual scheduler events by the
+    /// interleaved sweep.
+    pub messages: u64,
+    /// Handshake payload bytes those messages carried.
+    pub wire_bytes: u64,
+    /// Link-layer CAN-FD frames moved (0 for the channel transport).
+    pub can_frames: u64,
+    /// Handshakes denied because a participant's certificate was on the
+    /// coordinator's revocation list.
+    pub denied_revoked: u64,
+    /// SHA-256 over every session's outcome (key bytes or failure
+    /// marker) in session-index order — the cheap cross-run and
+    /// cross-thread-count determinism witness.
+    pub key_digest: Option<[u8; 32]>,
     /// Enrolled devices per evaluation board.
     pub per_preset: BTreeMap<DevicePreset, usize>,
 }

@@ -1,0 +1,212 @@
+//! Integration tests for the message-granularity interleaved sweep:
+//! thread-count determinism, cross-session interleaving, transport
+//! accounting and fleet-level revocation.
+
+use ecq_cert::CertError;
+use ecq_fleet::{FleetConfig, FleetCoordinator, FleetError, SweepOptions, TransportKind};
+use ecq_proto::ProtocolError;
+
+fn config(devices: usize, seed: u64) -> FleetConfig {
+    FleetConfig {
+        devices,
+        ca_shards: 3,
+        enroll_batch: 8,
+        seed,
+        ..FleetConfig::default()
+    }
+}
+
+fn sweep(devices: usize, seed: u64, opts: &SweepOptions) -> FleetCoordinator {
+    let mut fleet = FleetCoordinator::new(config(devices, seed));
+    fleet.enroll_all().unwrap();
+    fleet.interleaved_sweep(opts).unwrap();
+    fleet
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let reports: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let fleet = sweep(
+                48,
+                0xD15C,
+                &SweepOptions {
+                    threads,
+                    transport: TransportKind::Simnet,
+                },
+            );
+            fleet.report().clone()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "1 vs 2 workers");
+    assert_eq!(reports[0], reports[2], "1 vs 8 workers");
+    assert!(reports[0].key_digest.is_some());
+    assert_eq!(reports[0].handshakes, reports[0].sessions);
+}
+
+#[test]
+fn same_seed_reproduces_and_seeds_differ() {
+    let opts = SweepOptions::default();
+    let a = sweep(24, 7, &opts);
+    let b = sweep(24, 7, &opts);
+    let c = sweep(24, 8, &opts);
+    assert_eq!(a.report(), b.report());
+    assert_ne!(
+        a.report().key_digest,
+        c.report().key_digest,
+        "different seed must derive different keys"
+    );
+}
+
+#[test]
+fn messages_are_delivered_at_wire_granularity() {
+    let fleet = sweep(24, 0xBEEF, &SweepOptions::default());
+    let r = fleet.report();
+    let sessions = r.sessions as u64;
+    assert!(sessions > 0);
+    // Four STS messages per handshake, 491 B total (Table II).
+    assert_eq!(r.messages, 4 * sessions);
+    assert_eq!(r.wire_bytes, 491 * sessions);
+    // A1(80+4)→2 frames, B1(245+4)→4, A2(165+4)→3, B2(1+4)→1.
+    assert_eq!(r.can_frames, 10 * sessions);
+    assert!(r.handshake_makespan_us > 0);
+}
+
+#[test]
+fn handshakes_interleave_across_sessions() {
+    // One worker, so the delivery log is one scheduler's pop order.
+    let fleet = sweep(
+        24,
+        0xCAFE,
+        &SweepOptions {
+            threads: 1,
+            transport: TransportKind::Simnet,
+        },
+    );
+    let log = fleet.last_deliveries();
+    assert_eq!(log.len(), 4 * fleet.report().sessions);
+    // Session 0's four messages must NOT be contiguous: other sessions'
+    // messages are delivered between them (message-granularity
+    // interleaving, the whole point of the transport rework).
+    let positions: Vec<usize> = log
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.session == 0)
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(positions.len(), 4);
+    assert!(
+        positions[3] - positions[0] > 3,
+        "session 0 ran atomically: positions {positions:?}"
+    );
+    // And virtual time never runs backwards in the log.
+    assert!(log.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+}
+
+#[test]
+fn keys_are_transport_independent_but_makespan_is_not() {
+    // The derived keys depend only on the endpoint RNG streams; the
+    // link model only decides *when* messages move.
+    let simnet = sweep(24, 0xF00D, &SweepOptions::default());
+    let channel = sweep(
+        24,
+        0xF00D,
+        &SweepOptions {
+            threads: 1,
+            transport: TransportKind::Channel { latency_us: 0 },
+        },
+    );
+    assert_eq!(simnet.report().key_digest, channel.report().key_digest);
+    assert_eq!(channel.report().can_frames, 0);
+    assert!(simnet.report().can_frames > 0);
+    assert!(simnet.report().handshake_makespan_us > channel.report().handshake_makespan_us);
+}
+
+#[test]
+fn pre_sweep_revocation_denies_only_the_revoked_pair() {
+    let mut fleet = FleetCoordinator::new(config(24, 0xDEAD));
+    fleet.enroll_all().unwrap();
+    assert!(fleet.revoke_device(0));
+    assert!(!fleet.revoke_device(0), "second revocation is a no-op");
+    fleet.interleaved_sweep(&SweepOptions::default()).unwrap();
+    let r = fleet.report();
+    let denied: Vec<_> = fleet
+        .sessions()
+        .iter()
+        .filter(|s| s.failure().is_some())
+        .collect();
+    assert_eq!(denied.len(), 1);
+    assert!(denied[0].a == 0 || denied[0].b == 0);
+    assert_eq!(
+        *denied[0].failure().unwrap(),
+        FleetError::Protocol(ProtocolError::Cert(CertError::Revoked))
+    );
+    assert!(denied[0].last_key().is_none());
+    assert_eq!(r.denied_revoked, 1);
+    assert_eq!(r.handshakes, r.sessions - 1);
+    // Everyone else still established.
+    for s in fleet.sessions().iter().filter(|s| s.failure().is_none()) {
+        assert!(s.last_key().is_some());
+    }
+}
+
+#[test]
+fn mid_run_revocation_fails_subsequent_handshakes_only() {
+    let mut fleet = FleetCoordinator::new(config(24, 0xACDC));
+    fleet.enroll_all().unwrap();
+    fleet.interleaved_sweep(&SweepOptions::default()).unwrap();
+    assert_eq!(fleet.report().denied_revoked, 0);
+
+    // Mid-run: every pair holds a key; now one device is compromised.
+    assert!(fleet.revoke_device(1));
+    fleet.run_epochs(2).unwrap();
+
+    let revoked: Vec<_> = fleet
+        .sessions()
+        .iter()
+        .filter(|s| s.a == 1 || s.b == 1)
+        .collect();
+    assert_eq!(revoked.len(), 1);
+    // The sweep key it already held survives (forward secrecy protects
+    // the past; revocation stops the future)…
+    assert!(revoked[0].last_key().is_some());
+    // …but its rekey handshakes were denied: no manager establishment.
+    assert_eq!(revoked[0].rekey_count(), 0);
+    assert_eq!(
+        *revoked[0].failure().unwrap(),
+        FleetError::Protocol(ProtocolError::Cert(CertError::Revoked))
+    );
+    // One denial per epoch tick.
+    assert_eq!(fleet.report().denied_revoked, 2);
+    // The rest of the fleet kept rekeying.
+    for s in fleet.sessions().iter().filter(|s| !(s.a == 1 || s.b == 1)) {
+        assert!(s.rekey_count() >= 1, "unrevoked sessions must proceed");
+        assert!(s.failure().is_none());
+    }
+}
+
+#[test]
+fn mixed_thread_and_transport_runs_share_keys() {
+    // Thread count must not leak into key material either.
+    let one = sweep(30, 42, &SweepOptions::default());
+    let eight = sweep(
+        30,
+        42,
+        &SweepOptions {
+            threads: 8,
+            transport: TransportKind::Simnet,
+        },
+    );
+    let ka: Vec<_> = one
+        .sessions()
+        .iter()
+        .map(|s| *s.last_key().unwrap().as_bytes())
+        .collect();
+    let kb: Vec<_> = eight
+        .sessions()
+        .iter()
+        .map(|s| *s.last_key().unwrap().as_bytes())
+        .collect();
+    assert_eq!(ka, kb);
+}

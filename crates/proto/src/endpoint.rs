@@ -35,6 +35,26 @@ impl Role {
     }
 }
 
+/// What a poll-style endpoint asks of its driver after one step.
+///
+/// [`Endpoint::step`] turns the message-callback interface into an
+/// explicit state machine a scheduler can advance one wire message at a
+/// time: feed an incoming message (or `None` to kick off an initiator),
+/// get back the transport action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutput {
+    /// Hand this message to the transport for delivery to the peer.
+    Send(Message),
+    /// Nothing to send; the endpoint waits for the next incoming
+    /// message.
+    Wait,
+    /// The handshake completed on this side and no further message is
+    /// owed. (A side that completes *while* sending its last message
+    /// reports `Send` first; the completion is visible through
+    /// [`Endpoint::is_established`].)
+    Established,
+}
+
 /// A protocol endpoint: one side of a two-party key-derivation
 /// handshake, advanced by feeding it messages.
 pub trait Endpoint {
@@ -72,6 +92,27 @@ pub trait Endpoint {
 
     /// The primitive-operation trace accumulated so far.
     fn trace(&self) -> &OpTrace;
+
+    /// Advances the state machine by one message: `None` kicks off an
+    /// initiator (a responder answers [`StepOutput::Wait`]), `Some`
+    /// feeds an incoming wire message. This is the poll-style interface
+    /// message-granularity schedulers drive; [`run_handshake`] is a
+    /// run-to-completion loop over exactly this method.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ProtocolError`] aborting the handshake.
+    fn step(&mut self, incoming: Option<&Message>) -> Result<StepOutput, ProtocolError> {
+        let outgoing = match incoming {
+            Some(msg) => self.on_message(msg)?,
+            None => self.start()?,
+        };
+        Ok(match outgoing {
+            Some(msg) => StepOutput::Send(msg),
+            None if self.is_established() => StepOutput::Established,
+            None => StepOutput::Wait,
+        })
+    }
 }
 
 /// Maximum message exchanges before the driver declares a stall.
@@ -80,6 +121,11 @@ const MAX_ROUNDS: usize = 16;
 /// Drives a full handshake between two endpoints, alternating messages
 /// until both report establishment, and returns the complete
 /// [`Transcript`] (messages with byte accounting + both op traces).
+///
+/// This is the run-to-completion convenience driver: it is a plain loop
+/// over [`Endpoint::step`], so its transcripts are byte-identical to
+/// what a message-granularity scheduler produces when it delivers the
+/// same messages one event at a time.
 ///
 /// # Errors
 ///
@@ -93,7 +139,10 @@ pub fn run_handshake(
     debug_assert_eq!(responder.role(), Role::Responder);
 
     let mut messages = Vec::new();
-    let mut pending = initiator.start()?;
+    let mut pending = match initiator.step(None)? {
+        StepOutput::Send(msg) => Some(msg),
+        StepOutput::Wait | StepOutput::Established => None,
+    };
     let mut sender = Role::Initiator;
 
     let mut rounds = 0;
@@ -107,7 +156,10 @@ pub fn run_handshake(
             Role::Initiator => responder,
             Role::Responder => initiator,
         };
-        pending = receiver.on_message(&msg)?;
+        pending = match receiver.step(Some(&msg))? {
+            StepOutput::Send(reply) => Some(reply),
+            StepOutput::Wait | StepOutput::Established => None,
+        };
         sender = sender.peer();
     }
 
@@ -214,6 +266,24 @@ mod tests {
             run_handshake(&mut a, &mut b).unwrap_err(),
             ProtocolError::Stalled
         );
+    }
+
+    #[test]
+    fn step_machine_mirrors_callback_interface() {
+        let mut a = PingPong::new(Role::Initiator, false);
+        let mut b = PingPong::new(Role::Responder, false);
+        // Kickoff: the initiator's first step takes no message.
+        let StepOutput::Send(a1) = a.step(None).unwrap() else {
+            panic!("initiator must open with a message");
+        };
+        // The responder replies and completes in the same step: Send
+        // wins, completion shows through is_established().
+        let StepOutput::Send(b1) = b.step(Some(&a1)).unwrap() else {
+            panic!("responder must reply to A1");
+        };
+        assert!(b.is_established());
+        assert_eq!(a.step(Some(&b1)).unwrap(), StepOutput::Established);
+        assert!(a.is_established());
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //! * [`trace`] — the primitive-operation trace that the device cost
 //!   model (`ecq-devices`) integrates into Table I timings,
 //! * [`session`] — session key material and the KDF chain of eq. (4),
-//! * [`endpoint`] — the two-party state-machine abstraction and the
-//!   handshake driver that produces [`transcript::Transcript`]s,
+//! * [`endpoint`] — the two-party state-machine abstraction (poll-style
+//!   [`endpoint::Endpoint::step`]) and the run-to-completion driver
+//!   that produces [`transcript::Transcript`]s,
+//! * [`transport`] — the message-granularity [`transport::Transport`]
+//!   link abstraction with the in-memory channel implementation,
 //! * [`error`] — the shared error type.
 
 #![forbid(unsafe_code)]
@@ -21,14 +24,16 @@ pub mod error;
 pub mod session;
 pub mod trace;
 pub mod transcript;
+pub mod transport;
 pub mod wire;
 
 pub use credentials::Credentials;
-pub use endpoint::{run_handshake, Endpoint, Role};
+pub use endpoint::{run_handshake, Endpoint, Role, StepOutput};
 pub use error::ProtocolError;
 pub use session::SessionKey;
 pub use trace::{OpTrace, PrimitiveOp, StsPhase};
 pub use transcript::Transcript;
+pub use transport::{ChannelTransport, DirectionalQueues, Transport, TransportTime};
 pub use wire::{FieldKind, Message, WireField};
 
 /// The seven protocol variants evaluated in the paper (Tables I–III).

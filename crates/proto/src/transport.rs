@@ -1,0 +1,240 @@
+//! Message-granularity transports between two handshake endpoints.
+//!
+//! A [`Transport`] carries one link's wire messages between the
+//! [`crate::endpoint::Role::Initiator`] and the
+//! [`crate::endpoint::Role::Responder`] with explicit virtual-time
+//! latency, so a discrete-event scheduler can deliver each handshake
+//! message as its own event instead of running a handshake to
+//! completion in one step. Two implementations exist:
+//!
+//! * [`ChannelTransport`] (here) — an in-memory FIFO pair with a fixed
+//!   per-message latency; the reference implementation and the fast
+//!   path for tests,
+//! * `ecq_simnet::transport::CanLink` — frames routed through the
+//!   CAN-FD bus and ISO 15765-2 segmentation models with per-link
+//!   latency from the `ecq_devices` cost tables.
+//!
+//! The contract every implementation upholds:
+//!
+//! 1. **Determinism** — delivery times are a pure function of the
+//!    submitted messages and their timestamps; no wall clock, no
+//!    randomness.
+//! 2. **FIFO per direction** — messages from one role arrive in the
+//!    order they were sent (a CAN link cannot reorder one sender's
+//!    ISO-TP messages).
+//! 3. **Positive progress** — `send` never returns a time earlier than
+//!    `now`, so an event scheduler driving the link always advances.
+
+use crate::endpoint::Role;
+use crate::wire::Message;
+use std::collections::VecDeque;
+
+/// Virtual time in microseconds (the fleet scheduler's clock).
+pub type TransportTime = u64;
+
+/// A bidirectional link carrying wire messages between the two roles of
+/// one handshake, with virtual-time delivery accounting.
+pub trait Transport {
+    /// Submits `message` from `from` at virtual time `now_us`. Returns
+    /// the virtual time at which the peer can receive it.
+    fn send(&mut self, from: Role, message: Message, now_us: TransportTime) -> TransportTime;
+
+    /// Delivers the earliest message queued for `to` whose delivery
+    /// time is `<= now_us`, or `None` when nothing has arrived yet.
+    fn recv(&mut self, to: Role, now_us: TransportTime) -> Option<Message>;
+
+    /// The earliest pending delivery time for `to`, if any message is
+    /// in flight toward it.
+    fn next_delivery(&self, to: Role) -> Option<TransportTime>;
+
+    /// Total payload bytes accepted by [`Transport::send`] so far.
+    fn bytes_carried(&self) -> u64;
+
+    /// Total messages accepted by [`Transport::send`] so far.
+    fn messages_carried(&self) -> u64;
+
+    /// Link-layer frames moved so far (0 for transports that do not
+    /// segment messages into frames).
+    fn frames_carried(&self) -> u64 {
+        0
+    }
+}
+
+/// The per-direction FIFO delivery queues every transport
+/// implementation shares. `push` clamps each delivery to no earlier
+/// than the last one queued toward the same receiver, so the
+/// FIFO-per-direction contract holds by construction even when a
+/// transport's latency model would otherwise let a small late message
+/// overtake a large earlier one.
+#[derive(Debug, Default)]
+pub struct DirectionalQueues {
+    to_initiator: VecDeque<(TransportTime, Message)>,
+    to_responder: VecDeque<(TransportTime, Message)>,
+    /// Last queued delivery time per receiver (`[initiator, responder]`).
+    floor: [TransportTime; 2],
+}
+
+fn receiver_index(receiver: Role) -> usize {
+    match receiver {
+        Role::Initiator => 0,
+        Role::Responder => 1,
+    }
+}
+
+impl DirectionalQueues {
+    /// Empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn queue_mut(&mut self, receiver: Role) -> &mut VecDeque<(TransportTime, Message)> {
+        match receiver {
+            Role::Initiator => &mut self.to_initiator,
+            Role::Responder => &mut self.to_responder,
+        }
+    }
+
+    fn queue(&self, receiver: Role) -> &VecDeque<(TransportTime, Message)> {
+        match receiver {
+            Role::Initiator => &self.to_initiator,
+            Role::Responder => &self.to_responder,
+        }
+    }
+
+    /// Queues a delivery toward `receiver`; returns the effective
+    /// delivery time (clamped so one direction never reorders).
+    pub fn push(&mut self, receiver: Role, at: TransportTime, message: Message) -> TransportTime {
+        let idx = receiver_index(receiver);
+        let at = at.max(self.floor[idx]);
+        self.floor[idx] = at;
+        self.queue_mut(receiver).push_back((at, message));
+        at
+    }
+
+    /// Pops the earliest message for `receiver` that is due by `now`.
+    pub fn pop_due(&mut self, receiver: Role, now: TransportTime) -> Option<Message> {
+        let queue = self.queue_mut(receiver);
+        match queue.front() {
+            Some((at, _)) if *at <= now => queue.pop_front().map(|(_, m)| m),
+            _ => None,
+        }
+    }
+
+    /// The earliest pending delivery time for `receiver`.
+    pub fn next_delivery(&self, receiver: Role) -> Option<TransportTime> {
+        self.queue(receiver).front().map(|(at, _)| *at)
+    }
+}
+
+/// An in-memory channel transport: two FIFO queues with a fixed
+/// per-message latency. The zero-latency configuration reproduces the
+/// classic run-to-completion message order exactly.
+#[derive(Debug, Default)]
+pub struct ChannelTransport {
+    latency_us: TransportTime,
+    queues: DirectionalQueues,
+    bytes: u64,
+    messages: u64,
+}
+
+impl ChannelTransport {
+    /// Creates a channel with a fixed per-message latency in virtual
+    /// microseconds (0 is allowed: delivery at the send timestamp).
+    pub fn new(latency_us: TransportTime) -> Self {
+        ChannelTransport {
+            latency_us,
+            ..Self::default()
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn send(&mut self, from: Role, message: Message, now_us: TransportTime) -> TransportTime {
+        self.bytes += message.wire_len() as u64;
+        self.messages += 1;
+        self.queues
+            .push(from.peer(), now_us.saturating_add(self.latency_us), message)
+    }
+
+    fn recv(&mut self, to: Role, now_us: TransportTime) -> Option<Message> {
+        self.queues.pop_due(to, now_us)
+    }
+
+    fn next_delivery(&self, to: Role) -> Option<TransportTime> {
+        self.queues.next_delivery(to)
+    }
+
+    fn bytes_carried(&self) -> u64 {
+        self.bytes
+    }
+
+    fn messages_carried(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{FieldKind, WireField};
+
+    fn msg(step: &'static str, byte: u8) -> Message {
+        Message::new(step, vec![WireField::new(FieldKind::Ack, vec![byte])])
+    }
+
+    #[test]
+    fn latency_defers_delivery() {
+        let mut t = ChannelTransport::new(250);
+        let at = t.send(Role::Initiator, msg("A1", 1), 100);
+        assert_eq!(at, 350);
+        assert_eq!(t.next_delivery(Role::Responder), Some(350));
+        assert!(t.recv(Role::Responder, 349).is_none());
+        let m = t.recv(Role::Responder, 350).unwrap();
+        assert_eq!(m.step, "A1");
+        assert!(t.recv(Role::Responder, 400).is_none());
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut t = ChannelTransport::new(0);
+        t.send(Role::Initiator, msg("A1", 1), 0);
+        t.send(Role::Responder, msg("B1", 2), 0);
+        assert_eq!(t.recv(Role::Initiator, 0).unwrap().step, "B1");
+        assert_eq!(t.recv(Role::Responder, 0).unwrap().step, "A1");
+        assert_eq!(t.messages_carried(), 2);
+        assert_eq!(t.bytes_carried(), 2);
+    }
+
+    #[test]
+    fn fifo_within_a_direction() {
+        let mut t = ChannelTransport::new(10);
+        t.send(Role::Initiator, msg("A1", 1), 0);
+        t.send(Role::Initiator, msg("A2", 2), 5);
+        assert_eq!(t.recv(Role::Responder, 100).unwrap().step, "A1");
+        assert_eq!(t.recv(Role::Responder, 100).unwrap().step, "A2");
+        assert!(t.recv(Role::Responder, 100).is_none());
+        assert_eq!(t.next_delivery(Role::Responder), None);
+    }
+
+    #[test]
+    fn queues_clamp_out_of_order_deliveries() {
+        // A latency model that would let a later, smaller message
+        // overtake an earlier large one gets clamped to FIFO order.
+        let mut q = DirectionalQueues::new();
+        assert_eq!(q.push(Role::Responder, 500, msg("B1", 1)), 500);
+        assert_eq!(q.push(Role::Responder, 200, msg("B2", 2)), 500);
+        // The other direction is unaffected.
+        assert_eq!(q.push(Role::Initiator, 200, msg("A1", 3)), 200);
+        assert_eq!(q.next_delivery(Role::Responder), Some(500));
+        assert_eq!(q.pop_due(Role::Responder, 500).unwrap().step, "B1");
+        assert_eq!(q.pop_due(Role::Responder, 500).unwrap().step, "B2");
+    }
+
+    #[test]
+    fn zero_latency_delivers_at_send_time() {
+        let mut t = ChannelTransport::new(0);
+        let at = t.send(Role::Responder, msg("B2", 1), 77);
+        assert_eq!(at, 77);
+        assert!(t.recv(Role::Initiator, 77).is_some());
+    }
+}

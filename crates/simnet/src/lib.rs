@@ -12,7 +12,11 @@
 //! * [`app`] — the application/session header of the paper's Fig. 6
 //!   (communication code, session communication id, op code),
 //! * [`bus`] — a discrete-event bus serializing transmissions with
-//!   priority arbitration.
+//!   priority arbitration,
+//! * [`transport`] — the `ecq_proto` [`transport::CanLink`] transport:
+//!   handshake messages wrapped in the app header, segmented by ISO-TP
+//!   and routed frame-by-frame through the bus, with per-link latency
+//!   from the `ecq_devices` cost tables.
 //!
 //! The headline check reproduced by the tests and the Fig. 7 bench: a
 //! full handshake message (≤ 245 B) crosses the bus in ~1 ms — "the
@@ -25,6 +29,9 @@ pub mod app;
 pub mod bus;
 pub mod canfd;
 pub mod isotp;
+pub mod transport;
+
+pub use transport::CanLink;
 
 /// Simulation time in nanoseconds.
 pub type SimNanos = u64;

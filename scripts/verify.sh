@@ -1,29 +1,74 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build, test, format, lint. CI runs exactly this
-# script; run it locally before pushing.
+# Tier-1 verification. CI runs exactly these steps, split into jobs:
+#
+#   ./scripts/verify.sh          # everything (local pre-push default)
+#   ./scripts/verify.sh lint     # fmt + clippy + docs       (CI `lint`)
+#   ./scripts/verify.sh test     # build + tests + ct suite  (CI `test`)
+#   ./scripts/verify.sh fleet    # interleaved fleet smoke   (CI `fleet-smoke`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+mode="${1:-all}"
 
-echo "==> cargo test -q"
-cargo test -q
+run_test() {
+  echo "==> cargo build --release"
+  cargo build --release
 
-# The constant-time suite (ct/vartime equivalence proptests + the
-# group-op schedule counters) re-runs in release mode: the dev profile
-# keeps debug assertions and different overflow semantics, and the ct
-# guarantees must hold for the optimized code that ships.
-echo "==> cargo test --release -p ecq_p256 (constant-time suite)"
-cargo test --release -q -p ecq_p256
+  echo "==> cargo test -q"
+  cargo test -q
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+  # The constant-time suite (ct/vartime equivalence proptests + the
+  # group-op schedule counters) re-runs in release mode: the dev profile
+  # keeps debug assertions and different overflow semantics, and the ct
+  # guarantees must hold for the optimized code that ships.
+  echo "==> cargo test --release -p ecq_p256 (constant-time suite)"
+  cargo test --release -q -p ecq_p256
+}
 
-echo "==> cargo clippy -D warnings"
-cargo clippy --workspace --all-targets -- -D warnings
+run_lint() {
+  echo "==> cargo fmt --check"
+  cargo fmt --check
 
-echo "==> cargo doc -D warnings"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+  echo "==> cargo clippy -D warnings"
+  cargo clippy --workspace --all-targets -- -D warnings
 
-echo "OK: build, tests, fmt, clippy, docs all green"
+  echo "==> cargo doc -D warnings"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+}
+
+run_fleet() {
+  # The interleaved 1000-device sweep: bit-identical reports across
+  # 1/2/8 worker threads, BENCH_fleet.json emitted, and host handshake
+  # throughput gated at 20% below the committed baseline.
+  echo "==> fleet smoke (interleaved sweep, determinism + perf gate)"
+  cargo run --release -q --bin fleet -- --smoke \
+    --threads 1,2,8 \
+    --json BENCH_fleet.json \
+    --baseline ci/BENCH_fleet_baseline.json \
+    --gate-pct 20
+}
+
+case "$mode" in
+  all)
+    run_test
+    run_lint
+    run_fleet
+    echo "OK: build, tests, fmt, clippy, docs, fleet smoke all green"
+    ;;
+  test)
+    run_test
+    echo "OK: build + tests green"
+    ;;
+  lint)
+    run_lint
+    echo "OK: fmt, clippy, docs green"
+    ;;
+  fleet)
+    run_fleet
+    echo "OK: fleet smoke green"
+    ;;
+  *)
+    echo "usage: $0 [all|lint|test|fleet]" >&2
+    exit 2
+    ;;
+esac

@@ -65,7 +65,7 @@ pub mod prelude {
     pub use ecq_cert::{ca::CertificateAuthority, DeviceId, ImplicitCert};
     pub use ecq_crypto::HmacDrbg;
     pub use ecq_devices::DevicePreset;
-    pub use ecq_fleet::{FleetConfig, FleetCoordinator, FleetReport};
+    pub use ecq_fleet::{FleetConfig, FleetCoordinator, FleetReport, SweepOptions, TransportKind};
     pub use ecq_proto::{Credentials, ProtocolKind, SessionKey};
     pub use ecq_sts::{establish, StsConfig, StsVariant};
 }
