@@ -7,8 +7,34 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use ecq_cert::{ca::CertificateAuthority, requester::CertRequester, DeviceId};
 use ecq_crypto::{aes::Aes128, cmac, ctr, hkdf, hmac, sha256, HmacDrbg};
+use ecq_p256::field::FieldElement;
+use ecq_p256::point::JacobianPoint;
+use ecq_p256::u256::U256;
 use ecq_p256::{ecdh, ecdsa, keys::KeyPair, scalar::Scalar};
 use std::hint::black_box;
+
+/// The specialized field backend, primitive by primitive: these are
+/// the rows the per-op comb/window sizing decisions in `precomp.rs`
+/// were made against. `bench_p256` (the JSON artifact) additionally
+/// times the generic `MontCtx` reference for each of these.
+fn bench_field(c: &mut Criterion) {
+    let mut g = c.benchmark_group("field");
+    let mut rng = HmacDrbg::from_seed(0xF1);
+    let a = FieldElement::from_reduced(&U256::from_be_bytes(&rng.bytes32()));
+    let b = FieldElement::from_reduced(&U256::from_be_bytes(&rng.bytes32()));
+
+    g.bench_function("fe_mul", |bch| {
+        bch.iter(|| black_box(&a).mul(black_box(&b)))
+    });
+    g.bench_function("fe_square", |bch| bch.iter(|| black_box(&a).square()));
+    g.bench_function("fe_invert", |bch| bch.iter(|| black_box(&a).invert()));
+    g.bench_function("fe_sqrt", |bch| bch.iter(|| black_box(&a).sqrt()));
+    g.bench_function("scalar_invert", |bch| {
+        let s = Scalar::random(&mut rng);
+        bch.iter(|| black_box(&s).invert())
+    });
+    g.finish();
+}
 
 fn bench_symmetric(c: &mut Criterion) {
     let mut g = c.benchmark_group("symmetric");
@@ -70,6 +96,13 @@ fn bench_curve(c: &mut Criterion) {
     g.bench_function("base_mul_generic", |b| {
         let g_pt = ecq_p256::point::AffinePoint::generator();
         b.iter(|| g_pt.mul_vartime(black_box(&k)))
+    });
+    // Group operations under every multiplier.
+    let pj = JacobianPoint::from_affine(&peer.public);
+    let gj = JacobianPoint::from_affine(&ecq_p256::point::AffinePoint::generator());
+    g.bench_function("point_double", |b| b.iter(|| black_box(&pj).double()));
+    g.bench_function("point_add", |b| {
+        b.iter(|| black_box(&pj).add(black_box(&gj)))
     });
     // Variable-base, same split (ECDH pays the ct row).
     g.bench_function("point_mul_vartime", |b| {
@@ -144,5 +177,11 @@ fn bench_ecqv(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_symmetric, bench_curve, bench_ecqv);
+criterion_group!(
+    benches,
+    bench_symmetric,
+    bench_field,
+    bench_curve,
+    bench_ecqv
+);
 criterion_main!(benches);

@@ -120,8 +120,10 @@ pub fn reconstruct_public_key(
     let e = cert_hash(cert);
     let p_u = cert.reconstruction_point()?;
     // Everything here is public (certificate bytes and CA key), so the
-    // faster vartime multiplication is fine.
-    let q = p_u.mul_vartime(&e).add(ca_public);
+    // faster vartime path is fine. The Straus double-scalar walk folds
+    // the `+ Q_CA` term into the same ladder as `e·P_U`, saving the
+    // separate affine addition (and its field inversion).
+    let q = ecq_p256::point::multi_scalar_mul(&e, &p_u, &Scalar::one(), ca_public);
     if q.infinity || !q.is_on_curve() {
         return Err(CertError::InvalidPoint);
     }

@@ -393,6 +393,9 @@ impl FleetCoordinator {
     pub fn interleaved_sweep(&mut self, opts: &SweepOptions) -> Result<(), FleetError> {
         let seeds = self.create_sessions();
         let now = self.config.valid_from;
+        let denied: Vec<bool> = (0..self.sessions.len())
+            .map(|index| self.session_revoked(index))
+            .collect();
         let work: Vec<SessionWork> = self
             .sessions
             .iter()
@@ -407,11 +410,11 @@ impl FleetCoordinator {
                 wire_seed: *seed,
                 now,
                 variant: self.config.variant,
-                denied: self.session_revoked(index),
+                denied: denied[index],
             })
             .collect();
 
-        let (results, log) = interleave::run_sweep(&work, opts.threads, &opts.transport);
+        let (results, log) = interleave::run_sweep(work, opts.threads, &opts.transport);
         self.last_deliveries = log;
 
         let mut digest = Sha256::new();
@@ -420,7 +423,7 @@ impl FleetCoordinator {
         for (index, result) in results.into_iter().enumerate() {
             let session = &mut self.sessions[index];
             digest.update(&(index as u64).to_be_bytes());
-            if work[index].denied {
+            if denied[index] {
                 session.failure = Some(FleetError::Protocol(ProtocolError::Cert(
                     CertError::Revoked,
                 )));

@@ -17,10 +17,14 @@
 //! Each pair owns a private point-to-point link (the paper's two-ECU
 //! prototype), so sessions share no simulation state; a session's
 //! entire result is a pure function of `(config, seed, session index)`.
-//! The sweep shards sessions into contiguous ranges, one per worker
-//! thread, each worker interleaving its range under its own virtual
-//! clock, and results aggregate in session-index order — so a
-//! `(config, seed)` report is bit-identical for any worker count.
+//! The sweep deals sessions round-robin across the worker threads
+//! (balanced shards: the roster's preset rotation gives every worker
+//! the same board mix), each worker interleaving its share under its
+//! own virtual clock, and results aggregate in session-index order —
+//! so a `(config, seed)` report is bit-identical for any worker count.
+//! Session state (credentials, RNG seeds) is prepared serially and
+//! *moved* into the workers, so the timed sweep region clones no
+//! certificates or keys.
 
 use crate::scheduler::{micros_from_ms, EventScheduler, VirtualTime};
 use ecq_crypto::HmacDrbg;
@@ -105,6 +109,9 @@ pub(crate) struct SessionResult {
 
 /// A live session inside one worker's event loop.
 struct Live {
+    /// Global session index (for the delivery log; results aggregate
+    /// by slot order).
+    index: usize,
     initiator: StsInitiator,
     responder: StsResponder,
     transport: Box<dyn Transport>,
@@ -198,20 +205,24 @@ fn make_transport(kind: &TransportKind, work: &SessionWork) -> Box<dyn Transport
 }
 
 /// Runs one worker's share of sessions under a single virtual clock,
-/// delivering messages as events. Returns the per-session results plus
-/// this worker's delivery log in scheduler pop order.
+/// delivering messages as events. Takes its sessions by value so the
+/// prepared credentials move straight into the endpoints — the sweep
+/// performs no per-session certificate/key cloning inside the timed
+/// region. Returns the per-session results in the order `work` was
+/// given, plus this worker's delivery log in scheduler pop order.
 fn run_worker(
-    work: &[SessionWork],
-    transport: &TransportKind,
+    work: Vec<SessionWork>,
+    transport: TransportKind,
 ) -> (Vec<SessionResult>, Vec<DeliveryRecord>) {
     let mut live: Vec<Option<Live>> = Vec::with_capacity(work.len());
     let mut log: Vec<DeliveryRecord> = Vec::new();
     let mut scheduler: EventScheduler<Event> = EventScheduler::new();
-    for (slot, w) in work.iter().enumerate() {
+    for (slot, w) in work.into_iter().enumerate() {
         if w.denied {
             live.push(None);
             continue;
         }
+        let link = make_transport(&transport, &w);
         // Mirror `ecq_sts::establish`: one stream per role, initiator
         // first, derived from the pair's wire seed.
         let mut rng = HmacDrbg::new(&w.wire_seed, b"fleet-pair-wire");
@@ -222,9 +233,10 @@ fn run_worker(
             variant: w.variant,
         };
         live.push(Some(Live {
-            initiator: StsInitiator::new(w.creds_a.clone(), config, &mut rng_a),
-            responder: StsResponder::new(w.creds_b.clone(), config, &mut rng_b),
-            transport: make_transport(transport, w),
+            index: w.index,
+            initiator: StsInitiator::new(w.creds_a, config, &mut rng_a),
+            responder: StsResponder::new(w.creds_b, config, &mut rng_b),
+            transport: link,
             profiles: [w.preset_a.profile(), w.preset_b.profile()],
             cursors: [0, 0],
             result: SessionResult {
@@ -260,7 +272,6 @@ fn run_worker(
                 }
             }
             Event::Deliver { slot, to } => {
-                let index = work[slot].index;
                 let session = live[slot].as_mut().expect("deliveries only for live slots");
                 if session.done {
                     continue;
@@ -270,7 +281,7 @@ fn run_worker(
                     .recv(to, now)
                     .expect("scheduled delivery is due");
                 log.push(DeliveryRecord {
-                    session: index,
+                    session: session.index,
                     step: msg.step,
                     at_us: now,
                 });
@@ -322,31 +333,54 @@ fn run_worker(
     (results, log)
 }
 
-/// Shards `work` into contiguous ranges and runs them on `threads`
-/// workers; results come back in session-index order regardless of the
-/// thread count.
+/// Shards `work` across `threads` workers and returns results in
+/// session-index order regardless of the thread count.
+///
+/// Sessions are dealt round-robin (worker `t` takes indices `t`,
+/// `t + threads`, …) rather than in contiguous chunks: device presets
+/// rotate through the roster, so striding gives every worker the same
+/// preset mix — and therefore the same compute load — instead of
+/// leaving the last chunk short. Sessions are independent pure
+/// functions of `(config, seed, index)` (see the module docs), so any
+/// partition produces the identical report; only the host wall-clock
+/// changes.
 pub(crate) fn run_sweep(
-    work: &[SessionWork],
+    work: Vec<SessionWork>,
     threads: usize,
     transport: &TransportKind,
 ) -> (Vec<SessionResult>, Vec<DeliveryRecord>) {
-    let threads = threads.max(1).min(work.len().max(1));
+    let total = work.len();
+    let threads = threads.max(1).min(total.max(1));
     if threads <= 1 {
-        return run_worker(work, transport);
+        return run_worker(work, *transport);
     }
-    let chunk = work.len().div_ceil(threads);
-    let mut results: Vec<SessionResult> = Vec::with_capacity(work.len());
+    let mut shards: Vec<Vec<SessionWork>> = (0..threads)
+        .map(|_| Vec::with_capacity(total / threads + 1))
+        .collect();
+    for (i, w) in work.into_iter().enumerate() {
+        shards[i % threads].push(w);
+    }
+    let mut results: Vec<Option<SessionResult>> = (0..total).map(|_| None).collect();
     let mut log: Vec<DeliveryRecord> = Vec::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = work
-            .chunks(chunk)
-            .map(|shard| scope.spawn(move || run_worker(shard, transport)))
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|shard| {
+                let kind = *transport;
+                scope.spawn(move || run_worker(shard, kind))
+            })
             .collect();
-        for handle in handles {
+        for (t, handle) in handles.into_iter().enumerate() {
             let (shard_results, shard_log) = handle.join().expect("sweep worker panicked");
-            results.extend(shard_results);
+            for (j, result) in shard_results.into_iter().enumerate() {
+                results[t + j * threads] = Some(result);
+            }
             log.extend(shard_log);
         }
     });
+    let results = results
+        .into_iter()
+        .map(|slot| slot.expect("every session slot filled exactly once"))
+        .collect();
     (results, log)
 }

@@ -3,8 +3,9 @@
 //! smaller sizes (the ISSUE-mandated ≥1000-device enrollment runs real
 //! ECQV cryptography for every device).
 
-use ecq_fleet::{FleetConfig, FleetCoordinator};
+use ecq_fleet::{FleetConfig, FleetCoordinator, SweepOptions, TransportKind};
 use proptest::prelude::*;
+use std::time::Instant;
 
 #[test]
 fn thousand_device_enrollment() {
@@ -54,6 +55,55 @@ fn lifecycle_enroll_handshake_rekey() {
     );
     assert_eq!(report.rekeys, 2 * report.sessions as u64);
     assert!(report.handshakes_per_virtual_sec() > 0.0);
+}
+
+/// Host throughput of one interleaved sweep at `threads` workers
+/// (handshakes per second), on a fresh fleet each time.
+fn interleaved_hs_per_sec(threads: usize) -> f64 {
+    let mut fleet = FleetCoordinator::new(FleetConfig {
+        devices: 240,
+        ca_shards: 4,
+        enroll_batch: 32,
+        seed: 0x5CA1E,
+        ..FleetConfig::default()
+    });
+    fleet.enroll_all().expect("enrollment succeeds");
+    let start = Instant::now();
+    fleet
+        .interleaved_sweep(&SweepOptions {
+            threads,
+            transport: TransportKind::Simnet,
+        })
+        .expect("sweep succeeds");
+    fleet.report().handshakes as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// The `best_thread_count: 2` regression this PR fixes: adding workers
+/// must never *cost* throughput. Shards are dealt round-robin (equal
+/// preset mix per worker) and session state moves into the workers, so
+/// the only per-thread overhead left is spawning. Best-of-three runs
+/// per count and a tolerance factor absorb scheduler noise — CI
+/// containers may expose a single core, where the two counts are
+/// legitimately equal rather than 8 being faster.
+///
+/// Ignored under plain `cargo test`: a wall-clock comparison is only
+/// meaningful in release mode without sibling tests contending for
+/// cores, so the fleet-smoke step of `scripts/verify.sh` runs it
+/// explicitly (`--release … -- --ignored`).
+#[test]
+#[ignore = "wall-clock assertion; run via verify.sh fleet (release, isolated)"]
+fn eight_threads_not_slower_than_two() {
+    let best = |threads: usize| {
+        (0..3)
+            .map(|_| interleaved_hs_per_sec(threads))
+            .fold(f64::MIN, f64::max)
+    };
+    let two = best(2);
+    let eight = best(8);
+    assert!(
+        eight >= two * 0.8,
+        "8-thread sweep regressed below 2-thread: {eight:.1} hs/s vs {two:.1} hs/s"
+    );
 }
 
 proptest! {

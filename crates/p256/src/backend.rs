@@ -1,0 +1,414 @@
+//! The specialized fixed-modulus field backend.
+//!
+//! [`crate::mont::MontCtx`] is a *generic* engine: the modulus, the
+//! Montgomery constant `n0` and the conversion constants live behind a
+//! runtime context, every multiplication loads them through a
+//! reference, and the final reduction step branches on the
+//! (secret-derived) result value. This module is the specialized
+//! counterpart the hot paths run on:
+//!
+//! * all constants (`MontParams`) are derived **at compile time** by
+//!   `const fn` from the modulus alone — the same "no hand-derived
+//!   magic numbers" policy as `MontCtx::new`, but with zero runtime
+//!   cost and full constant folding into the unrolled limb code. For
+//!   the P-256 prime, `n0 = 1` and the sparse modulus limbs fold into
+//!   shift/add forms;
+//! * multiplication is a 4-limb CIOS pass and squaring a dedicated
+//!   SOS pass (cross products computed once and doubled), both fully
+//!   inlined;
+//! * every reduction ends in a **branch-free** conditional
+//!   subtraction: the candidate `t − m` is always computed and kept or
+//!   discarded by an all-ones/all-zeros mask, so no secret-dependent
+//!   branch or cmov-defeating pattern remains in the field layer.
+//!
+//! [`crate::field`] instantiates this engine for GF(p) and
+//! [`crate::scalar`] for the order field mod n; `MontCtx` stays as the
+//! independently-derived reference oracle the proptests compare
+//! against (`crates/p256/tests/proptest_field_backend.rs`).
+
+use crate::ct;
+
+/// Compile-time Montgomery parameters for an odd 256-bit modulus
+/// `m > 2^255` (both P-256 moduli qualify).
+pub(crate) struct MontParams {
+    /// The modulus limbs, little-endian.
+    pub m: [u64; 4],
+    /// `-m^{-1} mod 2^64` (`1` for the P-256 prime).
+    pub n0: u64,
+    /// `R mod m` with `R = 2^256` — Montgomery form of 1.
+    pub r1: [u64; 4],
+    /// `R^2 mod m` — the to-Montgomery conversion constant.
+    pub r2: [u64; 4],
+}
+
+/// `a + b` over 4 limbs with carry-out.
+#[inline(always)]
+const fn adc4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut carry = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry);
+        out[i] = s2;
+        carry = (c1 as u64) | (c2 as u64);
+        i += 1;
+    }
+    (out, carry)
+}
+
+/// `a - b` over 4 limbs with borrow-out.
+#[inline(always)]
+const fn sbb4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let mut out = [0u64; 4];
+    let mut borrow = 0u64;
+    let mut i = 0;
+    while i < 4 {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        out[i] = d2;
+        borrow = (b1 as u64) | (b2 as u64);
+        i += 1;
+    }
+    (out, borrow)
+}
+
+impl MontParams {
+    /// Derives every constant from the modulus at compile time.
+    ///
+    /// Mirrors `MontCtx::new`: `n0` by Newton–Hensel lifting,
+    /// `R mod m = 2^256 − m` (valid because `m > 2^255`), `R^2 mod m`
+    /// by 256 modular doublings. Branches here run in the compiler,
+    /// not on secrets.
+    pub const fn new(m: [u64; 4]) -> Self {
+        assert!(m[0] & 1 == 1, "Montgomery modulus must be odd");
+        assert!(m[3] >> 63 == 1, "modulus must exceed 2^255");
+
+        let mut inv: u64 = 1;
+        let mut i = 0;
+        while i < 6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(m[0].wrapping_mul(inv)));
+            i += 1;
+        }
+        let n0 = inv.wrapping_neg();
+
+        // R mod m = 2^256 − m.
+        let (r1, _) = sbb4(&[0, 0, 0, 0], &m);
+
+        // R^2 mod m by 256 modular doublings of R.
+        let mut r2 = r1;
+        let mut i = 0;
+        while i < 256 {
+            let carry = r2[3] >> 63;
+            r2 = [
+                r2[0] << 1,
+                (r2[1] << 1) | (r2[0] >> 63),
+                (r2[2] << 1) | (r2[1] >> 63),
+                (r2[3] << 1) | (r2[2] >> 63),
+            ];
+            let (reduced, borrow) = sbb4(&r2, &m);
+            if carry == 1 || borrow == 0 {
+                r2 = reduced;
+            }
+            i += 1;
+        }
+
+        MontParams { m, n0, r1, r2 }
+    }
+}
+
+/// Branch-free final reduction: a value `carry·2^256 + t` known to be
+/// `< 2m` is reduced to `[0, m)` by computing `t − m` unconditionally
+/// and selecting by mask.
+#[inline(always)]
+fn cond_sub(carry: u64, t: &[u64; 4], m: &[u64; 4]) -> [u64; 4] {
+    let (r, borrow) = sbb4(t, m);
+    // Take the subtracted value when the 2^256 bit is set (the value
+    // certainly exceeds m) or when t >= m (no borrow).
+    let take = !ct::is_zero_mask(carry) | ct::is_zero_mask(borrow);
+    [
+        ct::select_u64(r[0], t[0], take),
+        ct::select_u64(r[1], t[1], take),
+        ct::select_u64(r[2], t[2], take),
+        ct::select_u64(r[3], t[3], take),
+    ]
+}
+
+/// Montgomery multiplication `a·b·R^{-1} mod m` (CIOS over 4 limbs,
+/// branch-free final step). Inputs must be `< m`.
+#[inline(always)]
+pub(crate) fn mont_mul(a: &[u64; 4], b: &[u64; 4], p: &MontParams) -> [u64; 4] {
+    let m = &p.m;
+    let mut t = [0u64; 6];
+    let mut i = 0;
+    while i < 4 {
+        // t += a[i] * b
+        let ai = a[i] as u128;
+        let mut carry = 0u128;
+        let mut j = 0;
+        while j < 4 {
+            let acc = t[j] as u128 + ai * (b[j] as u128) + carry;
+            t[j] = acc as u64;
+            carry = acc >> 64;
+            j += 1;
+        }
+        let acc = t[4] as u128 + carry;
+        t[4] = acc as u64;
+        t[5] = (acc >> 64) as u64;
+
+        // Reduction step: add u·m and shift one limb. For the P-256
+        // prime n0 == 1, so `u` is just t[0].
+        let u = t[0].wrapping_mul(p.n0) as u128;
+        let acc = t[0] as u128 + u * (m[0] as u128);
+        let mut carry = acc >> 64;
+        let mut j = 1;
+        while j < 4 {
+            let acc = t[j] as u128 + u * (m[j] as u128) + carry;
+            t[j - 1] = acc as u64;
+            carry = acc >> 64;
+            j += 1;
+        }
+        let acc = t[4] as u128 + carry;
+        t[3] = acc as u64;
+        let acc2 = t[5] as u128 + (acc >> 64);
+        t[4] = acc2 as u64;
+        t[5] = (acc2 >> 64) as u64;
+        i += 1;
+    }
+    // For m > 2^255 the CIOS invariant keeps the result below 2m, so
+    // t[5] is zero and t[4] is at most 1.
+    cond_sub(t[4], &[t[0], t[1], t[2], t[3]], m)
+}
+
+/// The 512-bit square of a 256-bit value: cross products accumulated
+/// once and doubled, then the diagonal squares added in.
+#[inline(always)]
+pub(crate) fn square_wide(a: &[u64; 4]) -> [u64; 8] {
+    let mut r = [0u64; 8];
+
+    // Cross products a_i·a_j (i < j) at positions i+j.
+    let mut acc = (a[0] as u128) * (a[1] as u128);
+    r[1] = acc as u64;
+    let mut carry = acc >> 64;
+    acc = (a[0] as u128) * (a[2] as u128) + carry;
+    r[2] = acc as u64;
+    carry = acc >> 64;
+    acc = (a[0] as u128) * (a[3] as u128) + carry;
+    r[3] = acc as u64;
+    r[4] = (acc >> 64) as u64;
+
+    acc = r[3] as u128 + (a[1] as u128) * (a[2] as u128);
+    r[3] = acc as u64;
+    carry = acc >> 64;
+    acc = r[4] as u128 + (a[1] as u128) * (a[3] as u128) + carry;
+    r[4] = acc as u64;
+    r[5] = (acc >> 64) as u64;
+
+    acc = r[5] as u128 + (a[2] as u128) * (a[3] as u128);
+    r[5] = acc as u64;
+    r[6] = (acc >> 64) as u64;
+
+    // Double the cross products.
+    r[7] = r[6] >> 63;
+    r[6] = (r[6] << 1) | (r[5] >> 63);
+    r[5] = (r[5] << 1) | (r[4] >> 63);
+    r[4] = (r[4] << 1) | (r[3] >> 63);
+    r[3] = (r[3] << 1) | (r[2] >> 63);
+    r[2] = (r[2] << 1) | (r[1] >> 63);
+    r[1] <<= 1;
+
+    // Add the diagonal squares a_i² at positions (2i, 2i+1).
+    let mut carry = 0u128;
+    let mut i = 0;
+    while i < 4 {
+        let sq = (a[i] as u128) * (a[i] as u128);
+        let lo = r[2 * i] as u128 + (sq as u64 as u128) + carry;
+        r[2 * i] = lo as u64;
+        let hi = r[2 * i + 1] as u128 + (sq >> 64) + (lo >> 64);
+        r[2 * i + 1] = hi as u64;
+        carry = hi >> 64;
+        i += 1;
+    }
+    debug_assert_eq!(carry, 0, "a² < 2^512 must fit in eight limbs");
+    r
+}
+
+/// Montgomery reduction of a 512-bit value: `t·R^{-1} mod m`, with the
+/// result guaranteed `< m` for `t < m·2^256` (true for any product of
+/// reduced operands). Carry propagation always walks the full limb
+/// range — no data-dependent early exit.
+#[inline(always)]
+pub(crate) fn mont_reduce(wide: &[u64; 8], p: &MontParams) -> [u64; 4] {
+    let m = &p.m;
+    let mut t = *wide;
+    let mut top = 0u64; // bit 512 accumulator
+    let mut i = 0;
+    while i < 4 {
+        let u = t[i].wrapping_mul(p.n0) as u128;
+        let mut carry = 0u128;
+        let mut j = 0;
+        while j < 4 {
+            let acc = t[i + j] as u128 + u * (m[j] as u128) + carry;
+            t[i + j] = acc as u64;
+            carry = acc >> 64;
+            j += 1;
+        }
+        // Propagate unconditionally through the remaining limbs.
+        let mut k = i + 4;
+        while k < 8 {
+            let acc = t[k] as u128 + carry;
+            t[k] = acc as u64;
+            carry = acc >> 64;
+            k += 1;
+        }
+        top += carry as u64;
+        i += 1;
+    }
+    cond_sub(top, &[t[4], t[5], t[6], t[7]], m)
+}
+
+/// Montgomery squaring `a²·R^{-1} mod m` via [`square_wide`] +
+/// [`mont_reduce`].
+#[inline(always)]
+pub(crate) fn mont_sqr(a: &[u64; 4], p: &MontParams) -> [u64; 4] {
+    mont_reduce(&square_wide(a), p)
+}
+
+/// Modular addition of reduced operands, branch-free.
+#[inline(always)]
+pub(crate) fn add_mod(a: &[u64; 4], b: &[u64; 4], p: &MontParams) -> [u64; 4] {
+    let (s, carry) = adc4(a, b);
+    cond_sub(carry, &s, &p.m)
+}
+
+/// Modular subtraction of reduced operands, branch-free: the wrapped
+/// difference and the `+m` repair are both computed, and the mask on
+/// the borrow bit picks one.
+#[inline(always)]
+pub(crate) fn sub_mod(a: &[u64; 4], b: &[u64; 4], p: &MontParams) -> [u64; 4] {
+    let (d, borrow) = sbb4(a, b);
+    let (repaired, _) = adc4(&d, &p.m);
+    let take_repair = !ct::is_zero_mask(borrow);
+    [
+        ct::select_u64(repaired[0], d[0], take_repair),
+        ct::select_u64(repaired[1], d[1], take_repair),
+        ct::select_u64(repaired[2], d[2], take_repair),
+        ct::select_u64(repaired[3], d[3], take_repair),
+    ]
+}
+
+/// Modular negation of a reduced operand, branch-free (`m − a`, masked
+/// to zero when `a` is zero).
+#[inline(always)]
+pub(crate) fn neg_mod(a: &[u64; 4], p: &MontParams) -> [u64; 4] {
+    let (r, _) = sbb4(&p.m, a);
+    let zero = ct::is_zero_mask(a[0] | a[1] | a[2] | a[3]);
+    [
+        ct::select_u64(0, r[0], zero),
+        ct::select_u64(0, r[1], zero),
+        ct::select_u64(0, r[2], zero),
+        ct::select_u64(0, r[3], zero),
+    ]
+}
+
+/// Reduces an arbitrary 256-bit value into `[0, m)` (valid because
+/// `m > 2^255` means one conditional subtraction suffices).
+#[inline(always)]
+pub(crate) fn reduce_once(a: &[u64; 4], p: &MontParams) -> [u64; 4] {
+    cond_sub(0, a, &p.m)
+}
+
+/// Reduces a 512-bit value to the *canonical* residue mod m:
+/// one Montgomery reduction (`·R^{-1}`) followed by a multiplication
+/// by `R^2·R^{-1} = R` to undo the factor. Replaces the bit-by-bit
+/// `MontCtx::reduce_wide` on hot hash-to-scalar paths.
+///
+/// For `t` up to `2^512 − 1` the inner reduction can exceed `m` by up
+/// to `2^256`, so an extra branch-free subtraction runs before the
+/// correction multiply.
+#[inline(always)]
+pub(crate) fn reduce_wide(wide: &[u64; 8], p: &MontParams) -> [u64; 4] {
+    let t = mont_reduce(wide, p);
+    // mont_reduce already bounds t < m for t < m·2^256; an arbitrary
+    // 512-bit input is < 2^512 < (2m)·2^256, one more subtraction
+    // covers the slack.
+    let t = reduce_once(&t, p);
+    mont_mul(&t, &p.r2, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::u256::U256;
+
+    const P: [u64; 4] = [
+        0xffff_ffff_ffff_ffff,
+        0x0000_0000_ffff_ffff,
+        0x0000_0000_0000_0000,
+        0xffff_ffff_0000_0001,
+    ];
+    const PARAMS: MontParams = MontParams::new(P);
+
+    #[test]
+    fn const_params_match_runtime_ctx() {
+        let ctx = crate::mont::MontCtx::new(U256::from_limbs(P));
+        assert_eq!(PARAMS.r1, ctx.r1.limbs());
+        assert_eq!(PARAMS.r2, ctx.r2.limbs());
+        assert_eq!(PARAMS.n0, ctx.n0());
+        assert_eq!(PARAMS.n0, 1, "P-256 prime has n0 = 1");
+    }
+
+    #[test]
+    fn mul_and_square_match_reference() {
+        let ctx = crate::mont::MontCtx::new(U256::from_limbs(P));
+        let a =
+            U256::from_be_hex("6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a13945d898c296");
+        let b =
+            U256::from_be_hex("4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5");
+        assert_eq!(
+            mont_mul(&a.limbs(), &b.limbs(), &PARAMS),
+            ctx.mont_mul(&a, &b).limbs()
+        );
+        assert_eq!(mont_sqr(&a.limbs(), &PARAMS), ctx.mont_mul(&a, &a).limbs());
+    }
+
+    #[test]
+    fn wide_reduction_matches_reference() {
+        let ctx = crate::mont::MontCtx::new(U256::from_limbs(P));
+        let a = U256::MAX;
+        let b =
+            U256::from_be_hex("ffffffff00000001000000000000000000000000fffffffffffffffffffffffe");
+        let wide = a.widening_mul(&b);
+        assert_eq!(reduce_wide(&wide, &PARAMS), ctx.reduce_wide(&wide).limbs());
+        // All-ones 512-bit value: the worst-case slack path.
+        let ones = [u64::MAX; 8];
+        assert_eq!(reduce_wide(&ones, &PARAMS), ctx.reduce_wide(&ones).limbs());
+    }
+
+    #[test]
+    fn add_sub_neg_match_reference() {
+        let ctx = crate::mont::MontCtx::new(U256::from_limbs(P));
+        let a = U256::from_u64(5);
+        let b = ctx.m.wrapping_sub(&U256::from_u64(3));
+        assert_eq!(
+            add_mod(&a.limbs(), &b.limbs(), &PARAMS),
+            ctx.add(&a, &b).limbs()
+        );
+        assert_eq!(
+            sub_mod(&a.limbs(), &b.limbs(), &PARAMS),
+            ctx.sub(&a, &b).limbs()
+        );
+        assert_eq!(neg_mod(&a.limbs(), &PARAMS), ctx.neg(&a).limbs());
+        assert_eq!(neg_mod(&[0; 4], &PARAMS), [0; 4]);
+    }
+
+    #[test]
+    fn reduce_once_handles_edges() {
+        assert_eq!(reduce_once(&[0; 4], &PARAMS), [0; 4]);
+        assert_eq!(reduce_once(&P, &PARAMS), [0; 4]);
+        assert_eq!(
+            reduce_once(&U256::MAX.limbs(), &PARAMS),
+            U256::MAX.wrapping_sub(&U256::from_limbs(P)).limbs()
+        );
+    }
+}

@@ -7,7 +7,9 @@
 //! two separate scalar multiplications (micro-ecc's behaviour, the
 //! default for the device cost model) and Shamir's trick (an ablation).
 
-use crate::point::{mul_generator_ct, mul_generator_vartime, multi_scalar_mul, AffinePoint};
+use crate::point::{
+    mul_generator_ct, mul_generator_vartime_jacobian, multi_scalar_mul, AffinePoint, JacobianPoint,
+};
 use crate::rfc6979;
 use crate::scalar::Scalar;
 use crate::CurveError;
@@ -165,7 +167,14 @@ pub fn verify_prehashed(
     // u1/u2 derive from the public signature and hash, so verification
     // stays on the faster vartime paths.
     let point = match strategy {
-        VerifyStrategy::SeparateMuls => mul_generator_vartime(&u1).add(&public.mul_vartime(&u2)),
+        VerifyStrategy::SeparateMuls => {
+            // u1·G rides the wide fixed-base comb (no doublings); the
+            // sum stays Jacobian so the whole verification pays one
+            // field inversion instead of three.
+            let u1g = mul_generator_vartime_jacobian(&u1);
+            let u2q = JacobianPoint::from_affine(public).mul_vartime(&u2);
+            u1g.add(&u2q).to_affine()
+        }
         VerifyStrategy::Shamir => multi_scalar_mul(&u1, &AffinePoint::generator(), &u2, public),
     };
     if point.infinity {

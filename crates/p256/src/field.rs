@@ -1,11 +1,17 @@
 //! Arithmetic in GF(p), the P-256 base field.
 //!
 //! `p = 2^256 − 2^224 + 2^192 + 2^96 − 1`. Elements are stored in
-//! Montgomery form; the shared [`MontCtx`] is built once per process.
+//! Montgomery form and every operation runs on the specialized
+//! fixed-constant backend ([`crate::backend`]): unrolled
+//! multiplication/squaring with the modulus limbs and `n0 = 1` folded
+//! in at compile time, branch-free final reductions, and inversion /
+//! square root via fixed Fermat addition chains instead of generic
+//! square-and-multiply. The generic [`crate::mont::MontCtx`] engine is
+//! no longer on any GF(p) path — it survives as the reference oracle
+//! the backend proptests compare against.
 
-use crate::mont::MontCtx;
+use crate::backend::{self, MontParams};
 use crate::u256::U256;
-use std::sync::OnceLock;
 
 /// The P-256 prime modulus, big-endian hex.
 pub const P_HEX: &str = "ffffffff00000001000000000000000000000000ffffffffffffffffffffffff";
@@ -14,9 +20,65 @@ pub const P_HEX: &str = "ffffffff00000001000000000000000000000000fffffffffffffff
 /// the point formulas).
 pub const B_HEX: &str = "5ac635d8aa3a93e7b3ebbd55769886bc651d06b0cc53b0f63bce3c3e27d2604b";
 
-fn ctx() -> &'static MontCtx {
-    static CTX: OnceLock<MontCtx> = OnceLock::new();
-    CTX.get_or_init(|| MontCtx::new(U256::from_be_hex(P_HEX)))
+/// The prime as little-endian limbs.
+const P_LIMBS: [u64; 4] = [
+    0xffff_ffff_ffff_ffff,
+    0x0000_0000_ffff_ffff,
+    0x0000_0000_0000_0000,
+    0xffff_ffff_0000_0001,
+];
+
+/// Compile-time Montgomery parameters for GF(p); `n0 = 1` here, so the
+/// reduction multiplier in the unrolled backend folds away entirely.
+const P_PARAMS: MontParams = MontParams::new(P_LIMBS);
+
+/// The curve coefficient `b` in Montgomery form (computed once from
+/// [`B_HEX`] at compile time would need const hex parsing; a one-time
+/// lazy conversion is equivalent and keeps the constant auditable).
+fn curve_b_mont() -> &'static FieldElement {
+    static B: std::sync::OnceLock<FieldElement> = std::sync::OnceLock::new();
+    B.get_or_init(|| FieldElement::from_canonical(&U256::from_be_hex(B_HEX)).expect("b < p"))
+}
+
+/// Test-only counters for the field-operation schedule, mirroring
+/// `point::ops`: the constant-time assertions use these to prove the
+/// inversion and square-root chains run a value-independent sequence
+/// of multiplications and squarings.
+#[cfg(test)]
+pub(crate) mod fe_ops {
+    use std::cell::Cell;
+
+    thread_local! {
+        static MULS: Cell<u64> = const { Cell::new(0) };
+        static SQUARES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Snapshot of this thread's field-operation counters.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Counts {
+        pub muls: u64,
+        pub squares: u64,
+    }
+
+    pub fn record_mul() {
+        MULS.with(|c| c.set(c.get() + 1));
+    }
+    pub fn record_square() {
+        SQUARES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Runs `f` with zeroed counters and returns its result plus the
+    /// field operations it performed on this thread.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Counts) {
+        MULS.with(|c| c.set(0));
+        SQUARES.with(|c| c.set(0));
+        let result = f();
+        let counts = Counts {
+            muls: MULS.with(Cell::get),
+            squares: SQUARES.with(Cell::get),
+        };
+        (result, counts)
+    }
 }
 
 /// An element of GF(p) in Montgomery form.
@@ -37,39 +99,51 @@ impl FieldElement {
 
     /// The multiplicative identity.
     pub fn one() -> Self {
-        FieldElement(ctx().r1)
+        FieldElement(U256::from_limbs(P_PARAMS.r1))
     }
 
     /// The curve coefficient `b`.
     pub fn curve_b() -> Self {
-        static B: OnceLock<FieldElement> = OnceLock::new();
-        *B.get_or_init(|| FieldElement::from_canonical(&U256::from_be_hex(B_HEX)).expect("b < p"))
+        *curve_b_mont()
     }
 
     /// Builds a field element from a canonical integer `< p`.
     ///
     /// Returns `None` when `v >= p`.
     pub fn from_canonical(v: &U256) -> Option<Self> {
-        if *v >= ctx().m {
+        if *v >= U256::from_limbs(P_LIMBS) {
             None
         } else {
-            Some(FieldElement(ctx().to_mont(v)))
+            Some(FieldElement(U256::from_limbs(backend::mont_mul(
+                &v.limbs(),
+                &P_PARAMS.r2,
+                &P_PARAMS,
+            ))))
         }
     }
 
     /// Builds a field element reducing an arbitrary 256-bit value mod p.
     pub fn from_reduced(v: &U256) -> Self {
-        FieldElement(ctx().to_mont(&ctx().reduce(v)))
+        let reduced = backend::reduce_once(&v.limbs(), &P_PARAMS);
+        FieldElement(U256::from_limbs(backend::mont_mul(
+            &reduced,
+            &P_PARAMS.r2,
+            &P_PARAMS,
+        )))
     }
 
     /// Builds from a small integer.
     pub fn from_u64(v: u64) -> Self {
-        FieldElement(ctx().to_mont(&U256::from_u64(v)))
+        FieldElement(U256::from_limbs(backend::mont_mul(
+            &[v, 0, 0, 0],
+            &P_PARAMS.r2,
+            &P_PARAMS,
+        )))
     }
 
     /// Returns the canonical (non-Montgomery) value.
     pub fn to_canonical(self) -> U256 {
-        ctx().from_mont(&self.0)
+        U256::from_limbs(backend::mont_mul(&self.0.limbs(), &[1, 0, 0, 0], &P_PARAMS))
     }
 
     /// Serializes to 32 big-endian bytes.
@@ -101,27 +175,50 @@ impl FieldElement {
 
     /// Addition in GF(p).
     pub fn add(&self, rhs: &Self) -> Self {
-        FieldElement(ctx().add(&self.0, &rhs.0))
+        FieldElement(U256::from_limbs(backend::add_mod(
+            &self.0.limbs(),
+            &rhs.0.limbs(),
+            &P_PARAMS,
+        )))
     }
 
     /// Subtraction in GF(p).
     pub fn sub(&self, rhs: &Self) -> Self {
-        FieldElement(ctx().sub(&self.0, &rhs.0))
+        FieldElement(U256::from_limbs(backend::sub_mod(
+            &self.0.limbs(),
+            &rhs.0.limbs(),
+            &P_PARAMS,
+        )))
     }
 
     /// Negation in GF(p).
     pub fn neg(&self) -> Self {
-        FieldElement(ctx().neg(&self.0))
+        FieldElement(U256::from_limbs(backend::neg_mod(
+            &self.0.limbs(),
+            &P_PARAMS,
+        )))
     }
 
     /// Multiplication in GF(p).
     pub fn mul(&self, rhs: &Self) -> Self {
-        FieldElement(ctx().mont_mul(&self.0, &rhs.0))
+        #[cfg(test)]
+        fe_ops::record_mul();
+        FieldElement(U256::from_limbs(backend::mont_mul(
+            &self.0.limbs(),
+            &rhs.0.limbs(),
+            &P_PARAMS,
+        )))
     }
 
-    /// Squaring in GF(p).
+    /// Squaring in GF(p) — a dedicated pass (cross products computed
+    /// once and doubled), measurably cheaper than `mul(self, self)`.
     pub fn square(&self) -> Self {
-        self.mul(self)
+        #[cfg(test)]
+        fe_ops::record_square();
+        FieldElement(U256::from_limbs(backend::mont_sqr(
+            &self.0.limbs(),
+            &P_PARAMS,
+        )))
     }
 
     /// Doubling (`2·self`).
@@ -134,28 +231,63 @@ impl FieldElement {
         self.mul(&FieldElement::from_u64(k))
     }
 
-    /// Multiplicative inverse.
+    /// `self^(2^n)`: `n` back-to-back squarings (chain helper).
+    fn sqn(&self, n: usize) -> Self {
+        let mut x = *self;
+        for _ in 0..n {
+            x = x.square();
+        }
+        x
+    }
+
+    /// The shared low-Hamming-weight powers `x^(2^k − 1)` for
+    /// `k ∈ {2, 4, 8, 16, 32}` that both Fermat chains start from.
+    fn small_pows(&self) -> [FieldElement; 5] {
+        let x2 = self.square().mul(self);
+        let x4 = x2.sqn(2).mul(&x2);
+        let x8 = x4.sqn(4).mul(&x4);
+        let x16 = x8.sqn(8).mul(&x8);
+        let x32 = x16.sqn(16).mul(&x16);
+        [x2, x4, x8, x16, x32]
+    }
+
+    /// Multiplicative inverse via the Fermat addition chain for
+    /// `p − 2`: exactly 255 squarings and 13 multiplications for every
+    /// input — no exponent-bit scanning, no value-dependent schedule
+    /// (the test-only `fe_ops` counters assert this).
     ///
     /// # Panics
     ///
     /// Panics when `self` is zero.
     pub fn invert(&self) -> Self {
-        FieldElement(ctx().mont_inv(&self.0))
+        assert!(!self.is_zero(), "attempted to invert zero");
+        let [x2, x4, x8, x16, x32] = self.small_pows();
+        // p − 2 in 32-bit words, most significant first:
+        //   ffffffff 00000001 00000000 00000000
+        //   00000000 ffffffff ffffffff fffffffd
+        let mut t = x32.sqn(32).mul(self); // ffffffff 00000001
+        t = t.sqn(128).mul(&x32); // three zero words, then ffffffff
+        t = t.sqn(32).mul(&x32); // ffffffff
+        t = t.sqn(16).mul(&x16); // fffffffd assembled from
+        t = t.sqn(8).mul(&x8); //   16+8+4+2 ones…
+        t = t.sqn(4).mul(&x4);
+        t = t.sqn(2).mul(&x2);
+        t.sqn(2).mul(self) // …and the final "01" bits
     }
 
-    /// Square root, if one exists (`p ≡ 3 mod 4` ⇒ `sqrt = a^{(p+1)/4}`).
+    /// Square root, if one exists (`p ≡ 3 mod 4` ⇒ `sqrt = a^{(p+1)/4}`),
+    /// via a fixed addition chain: the candidate costs 253 squarings
+    /// and 7 multiplications, plus one squaring to verify it.
     ///
     /// Returns `None` for quadratic non-residues. Used by point
     /// decompression.
     pub fn sqrt(&self) -> Option<Self> {
-        // (p+1)/4
-        static EXP: OnceLock<U256> = OnceLock::new();
-        let exp = EXP.get_or_init(|| {
-            let (p1, carry) = ctx().m.adc(&U256::ONE);
-            debug_assert!(!carry);
-            p1.shr1().shr1()
-        });
-        let candidate = FieldElement(ctx().mont_pow(&self.0, exp));
+        let [_, _, _, _, x32] = self.small_pows();
+        // (p+1)/4 = 2^254 − 2^222 + 2^190 + 2^94: a 32-one block at the
+        // top, two lone bits, and 94 trailing zeros.
+        let mut t = x32.sqn(32).mul(self);
+        t = t.sqn(96).mul(self);
+        let candidate = t.sqn(94);
         if candidate.square() == *self {
             Some(candidate)
         } else {
@@ -187,6 +319,10 @@ mod tests {
     fn inverse_roundtrip() {
         let a = FieldElement::from_u64(0xdead_beef_cafe_f00d);
         assert_eq!(a.mul(&a.invert()), FieldElement::one());
+        // p − 1 is its own inverse (it is −1).
+        let p_minus_1 = FieldElement::one().neg();
+        assert_eq!(p_minus_1.invert(), p_minus_1);
+        assert_eq!(FieldElement::one().invert(), FieldElement::one());
     }
 
     #[test]
@@ -227,5 +363,52 @@ mod tests {
         let b = FieldElement::from_u64(1 << 50);
         let c = FieldElement::from_u64(u64::MAX);
         assert_eq!(a.add(&b).mul(&c), a.mul(&c).add(&b.mul(&c)));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut a = FieldElement::from_u64(3);
+        for _ in 0..32 {
+            assert_eq!(a.square(), a.mul(&a));
+            a = a.square().add(&FieldElement::one());
+        }
+    }
+
+    #[test]
+    fn limbs_hex_agree() {
+        assert_eq!(U256::from_limbs(P_LIMBS), U256::from_be_hex(P_HEX));
+    }
+
+    #[test]
+    fn inversion_schedule_is_value_independent() {
+        // The Fermat chain must run the same multiplication/squaring
+        // sequence for every input: 255 squarings + 13 multiplications.
+        let mut schedules = Vec::new();
+        for v in [1u64, 2, 0xdead_beef, u64::MAX] {
+            let a = FieldElement::from_u64(v);
+            let (_, counts) = fe_ops::measure(|| a.invert());
+            assert_eq!(counts.squares, 255, "v={v}: {counts:?}");
+            assert_eq!(counts.muls, 13, "v={v}: {counts:?}");
+            schedules.push(counts);
+        }
+        let p_minus_1 = FieldElement::one().neg();
+        let (_, counts) = fe_ops::measure(|| p_minus_1.invert());
+        schedules.push(counts);
+        assert!(schedules.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn sqrt_schedule_is_value_independent() {
+        // Residues and non-residues must cost the same: 254 squarings
+        // (253 chain + 1 verification) + 7 multiplications.
+        let residue = FieldElement::from_u64(2).square();
+        let non_residue = FieldElement::one().neg();
+        let (r, counts_r) = fe_ops::measure(|| residue.sqrt());
+        let (n, counts_n) = fe_ops::measure(|| non_residue.sqrt());
+        assert!(r.is_some());
+        assert!(n.is_none());
+        assert_eq!(counts_r, counts_n);
+        assert_eq!(counts_r.squares, 254, "{counts_r:?}");
+        assert_eq!(counts_r.muls, 7, "{counts_r:?}");
     }
 }

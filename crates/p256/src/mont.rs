@@ -1,9 +1,14 @@
 //! Montgomery modular arithmetic over 256-bit odd moduli.
 //!
-//! One [`MontCtx`] instance each backs the base field GF(p) and the
-//! scalar field mod n. The context precomputes the Montgomery constants
-//! at construction (cheap: a couple hundred limb operations) so that no
-//! hand-derived magic numbers need to be trusted.
+//! This is the *generic* engine: any odd 256-bit modulus, constants
+//! precomputed at construction (cheap: a couple hundred limb
+//! operations) so that no hand-derived magic numbers need to be
+//! trusted. Since the specialized fixed-constant backend
+//! ([`crate::backend`]) took over the hot GF(p) and mod-n paths, the
+//! role of [`MontCtx`] is the **reference oracle**: an independently
+//! derived implementation the backend proptests
+//! (`tests/proptest_field_backend.rs`) compare every operation
+//! against, plus the engine for non-hot generic-modulus callers.
 
 #![allow(clippy::needless_range_loop)] // index form mirrors the limb algorithms
 
@@ -131,12 +136,19 @@ impl MontCtx {
         }
 
         let result = U256::from_limbs([t[0], t[1], t[2], t[3]]);
-        // Final conditional subtraction: result may be in [0, 2m).
-        if t[4] != 0 || result >= self.m {
-            result.wrapping_sub(&self.m)
-        } else {
-            result
-        }
+        // Final conditional subtraction: result may be in [0, 2m). The
+        // subtracted candidate is always computed and a mask picks the
+        // reduced value — no branch on the (possibly secret) result.
+        let (reduced, borrow) = result.sbb(&self.m);
+        let take_reduced = !crate::ct::is_zero_mask(t[4]) | crate::ct::is_zero_mask(borrow as u64);
+        crate::ct::select_u256(&reduced, &result, take_reduced)
+    }
+
+    /// The Montgomery reduction constant `-m^{-1} mod 2^64` (exposed so
+    /// the specialized backend's compile-time constants can be checked
+    /// against this runtime derivation).
+    pub fn n0(&self) -> u64 {
+        self.n0
     }
 
     /// Converts a canonical residue into Montgomery form (`a·R mod m`).

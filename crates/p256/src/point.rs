@@ -73,10 +73,11 @@ pub(crate) mod ops {
 
     /// Runs `f` with zeroed counters and returns its result plus the
     /// group operations it performed on this thread. Forces the lazy
-    /// fixed-base table first so its one-time build is not attributed
-    /// to `f`.
+    /// fixed-base tables first so their one-time builds are not
+    /// attributed to `f`.
     pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Counts) {
         let _ = crate::precomp::generator_table();
+        let _ = crate::precomp::generator_table_wide();
         ADDS.with(|c| c.set(0));
         DOUBLES.with(|c| c.set(0));
         CT_ADDS.with(|c| c.set(0));
@@ -272,11 +273,10 @@ impl JacobianPoint {
 
     fn double_inner(&self) -> JacobianPoint {
         let zz = self.z.square();
-        let m = self
-            .x
-            .sub(&zz)
-            .mul(&self.x.add(&zz))
-            .mul(&FieldElement::from_u64(3));
+        // M = 3(X−Z²)(X+Z²); the ×3 is an add chain — a `from_u64(3)`
+        // here would pay a full Montgomery conversion per doubling.
+        let t = self.x.sub(&zz).mul(&self.x.add(&zz));
+        let m = t.double().add(&t);
         let y2 = self.y.square();
         let s = self.x.mul(&y2).double().double(); // 4·X·Y²
         let x3 = m.square().sub(&s.double());
@@ -421,16 +421,7 @@ impl JacobianPoint {
         if kv.is_zero() || self.is_identity() {
             return Self::identity();
         }
-        // Precompute 1·P … 15·P.
-        let mut table = [Self::identity(); 16];
-        table[1] = *self;
-        for i in 2..16 {
-            table[i] = if i % 2 == 0 {
-                table[i / 2].double()
-            } else {
-                table[i - 1].add(self)
-            };
-        }
+        let table = self.vartime_window_table();
         let mut acc = Self::identity();
         for w in (0..64).rev() {
             if !acc.is_identity() {
@@ -438,10 +429,24 @@ impl JacobianPoint {
             }
             let nib = kv.nibble(w);
             if nib != 0 {
-                acc = acc.add(&table[nib as usize]);
+                acc = acc.add(&table[nib as usize - 1]);
             }
         }
         acc
+    }
+
+    /// Precomputes `1·P … 15·P` for the 4-bit vartime window walks
+    /// (shared by [`Self::mul_vartime`] and [`multi_scalar_mul`]).
+    fn vartime_window_table(&self) -> [JacobianPoint; 15] {
+        let mut table = [*self; 15];
+        for i in 2..=15 {
+            table[i - 1] = if i % 2 == 0 {
+                table[i / 2 - 1].double()
+            } else {
+                table[i - 2].add(self)
+            };
+        }
+        table
     }
 
     /// Constant-schedule scalar multiplication `k·self` for secret `k`.
@@ -573,9 +578,9 @@ pub fn mul_generator_ct_jacobian(k: &Scalar) -> JacobianPoint {
 
 /// `k·G` for public `k` — the variable-time fixed-base path.
 ///
-/// Uses the precomputed table of [`crate::precomp`] and skips zero
-/// nibbles, so at most 64 mixed additions, no doublings, and a schedule
-/// that leaks `k`'s nibble pattern. Only for public scalars: the `u1`
+/// Walks the *wide* 8-bit comb of [`crate::precomp`] and skips zero
+/// bytes, so at most 32 mixed additions, no doublings, and a schedule
+/// that leaks `k`'s byte pattern. Only for public scalars: the `u1`
 /// of ECDSA verification, benches and tests. The generic path
 /// (`AffinePoint::generator().mul_vartime(k)`) remains the comparison
 /// baseline in `benches/primitives.rs`.
@@ -590,12 +595,12 @@ pub fn mul_generator_vartime_jacobian(k: &Scalar) -> JacobianPoint {
     if kv.is_zero() {
         return JacobianPoint::identity();
     }
-    let table = crate::precomp::generator_table();
+    let table = crate::precomp::generator_table_wide();
     let mut acc = JacobianPoint::identity();
-    for w in 0..crate::precomp::WINDOWS {
-        let nib = kv.nibble(w);
-        if nib != 0 {
-            acc = acc.add_affine(table.entry(w, nib));
+    for w in 0..crate::precomp::WIDE_WINDOWS {
+        let byte = kv.byte(w);
+        if byte != 0 {
+            acc = acc.add_affine(table.entry(w, byte));
         }
     }
     acc
@@ -634,24 +639,40 @@ pub fn batch_normalize(points: &[JacobianPoint]) -> Vec<AffinePoint> {
     out
 }
 
-/// Shamir's trick: computes `a·P + b·Q` with a single shared
-/// double-and-add pass. Variable-time by construction; used by the
-/// optimized ECDSA verification, where every input is public.
+/// Shamir/Straus double-scalar multiplication: computes `a·P + b·Q`
+/// with one shared doubling ladder over joint 4-bit windows — two
+/// 15-entry tables, four doublings per window and at most one table
+/// addition per scalar per window (the bitwise Shamir pass this
+/// replaces paid an addition for ~3 of 4 *bits*). Variable-time by
+/// construction; only for public inputs (ECDSA verification, the
+/// eq. (1) ECQV public-key reconstruction, attack tooling).
 pub fn multi_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoint) -> AffinePoint {
     let av = a.to_canonical();
     let bv = b.to_canonical();
-    let pj = JacobianPoint::from_affine(p);
-    let qj = JacobianPoint::from_affine(q);
-    let pq = pj.add(&qj);
+    // A unit scalar contributes exactly one mixed addition of its
+    // affine base at window 0 — no table needed. The eq. (1)
+    // reconstruction's `+ Q_CA` term rides this case on every
+    // certificate validation.
+    let tp = (av != U256::ONE).then(|| JacobianPoint::from_affine(p).vartime_window_table());
+    let tq = (bv != U256::ONE).then(|| JacobianPoint::from_affine(q).vartime_window_table());
     let mut acc = JacobianPoint::identity();
-    let bits = av.bit_len().max(bv.bit_len());
-    for i in (0..bits).rev() {
-        acc = acc.double();
-        match (av.bit(i), bv.bit(i)) {
-            (true, true) => acc = acc.add(&pq),
-            (true, false) => acc = acc.add(&pj),
-            (false, true) => acc = acc.add(&qj),
-            (false, false) => {}
+    for w in (0..64).rev() {
+        if !acc.is_identity() {
+            acc = acc.double().double().double().double();
+        }
+        let na = av.nibble(w);
+        if na != 0 {
+            acc = match &tp {
+                Some(t) => acc.add(&t[na as usize - 1]),
+                None => acc.add_affine(p), // a == 1: window 0, digit 1
+            };
+        }
+        let nb = bv.nibble(w);
+        if nb != 0 {
+            acc = match &tq {
+                Some(t) => acc.add(&t[nb as usize - 1]),
+                None => acc.add_affine(q), // b == 1: window 0, digit 1
+            };
         }
     }
     acc.to_affine()

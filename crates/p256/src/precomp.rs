@@ -6,62 +6,51 @@
 //! fixed generator. The generic double-and-add path pays ~252 doublings
 //! per call even though the base never changes.
 //!
-//! This module trades ~70 KiB of process-lifetime memory for all of
-//! those doublings: a one-time table stores every multiple
-//! `d · 16^w · G` for window `w ∈ [0, 64)` and digit `d ∈ [1, 15]`, so
-//! a fixed-base multiplication is at most 64 mixed additions and a
-//! single final normalization — no doublings at all. The table itself
-//! is normalized to affine with one shared field inversion
-//! ([`crate::point::batch_normalize`], Montgomery's trick).
+//! Two combs are kept, sized against the per-operation costs of the
+//! specialized field backend:
 //!
-//! The table is built lazily on first use and shared process-wide; the
-//! build costs ~1000 group operations plus one inversion, amortized
-//! across every subsequent `k·G` in the process (a fleet enrolling
-//! thousands of devices performs hundreds of thousands of them).
+//! * the **4-bit comb** (`table[w][d-1] = d · 16^w · G`, 64 windows ×
+//!   15 digits, ~70 KiB) serves the *constant-time* walk. Its lookup
+//!   scans every entry of a window, so the scan cost grows with `2^w`
+//!   while the savings per extra width bit shrink — with the cheap
+//!   specialized additions, 4 bits remains the measured optimum (an
+//!   8-bit ct scan would touch 255 entries per masked add and lose
+//!   outright);
+//! * the **8-bit wide comb** (`d · 256^w · G`, 32 windows × 255
+//!   digits, ~560 KiB) serves the *variable-time* walk, which indexes
+//!   digits directly: halving the window count halves the additions,
+//!   and the scan argument does not apply. ECDSA verification's `u1`
+//!   rides this table.
+//!
+//! Both tables build lazily on first use and are shared process-wide;
+//! each build batch-normalizes its Jacobian multiples around a single
+//! shared field inversion ([`crate::point::batch_normalize`],
+//! Montgomery's trick). A process that only ever runs secret-scalar
+//! paths never pays for the wide comb.
 
 use crate::point::{batch_normalize, AffinePoint, JacobianPoint};
 use std::sync::OnceLock;
 
-/// Number of 4-bit windows covering a 256-bit scalar.
+/// Number of 4-bit windows covering a 256-bit scalar (ct comb).
 pub const WINDOWS: usize = 64;
 /// Non-zero digits per 4-bit window.
 pub const DIGITS: usize = 15;
 
-/// The precomputed fixed-base table: `table[w][d-1] = d · 16^w · G`.
+/// Number of 8-bit windows covering a 256-bit scalar (wide comb).
+pub const WIDE_WINDOWS: usize = 32;
+/// Non-zero digits per 8-bit window.
+pub const WIDE_DIGITS: usize = 255;
+
+/// The constant-time comb: `table[w][d-1] = d · 16^w · G`.
 pub struct GeneratorTable {
     windows: Vec<[AffinePoint; DIGITS]>,
 }
 
 impl GeneratorTable {
     fn build() -> Self {
-        // Multiples are accumulated in Jacobian coordinates and
-        // normalized in one batch at the end.
-        let mut jac: Vec<JacobianPoint> = Vec::with_capacity(WINDOWS * DIGITS);
-        let mut base = JacobianPoint::from_affine(&AffinePoint::generator());
-        for _ in 0..WINDOWS {
-            let start = jac.len();
-            jac.push(base); // 1·base
-            for d in 2..=DIGITS {
-                let next = if d % 2 == 0 {
-                    jac[start + d / 2 - 1].double()
-                } else {
-                    jac[start + d - 2].add(&base)
-                };
-                jac.push(next);
-            }
-            // 16·base = 2·(8·base) feeds the next window.
-            base = jac[start + 7].double();
+        GeneratorTable {
+            windows: build_comb::<DIGITS>(WINDOWS),
         }
-        let affine = batch_normalize(&jac);
-        let windows = affine
-            .chunks_exact(DIGITS)
-            .map(|chunk| {
-                let mut w = [AffinePoint::identity(); DIGITS];
-                w.copy_from_slice(chunk);
-                w
-            })
-            .collect();
-        GeneratorTable { windows }
     }
 
     /// The precomputed point `d · 16^w · G` (`d ∈ [1, 15]`).
@@ -83,16 +72,84 @@ impl GeneratorTable {
     }
 }
 
-/// The shared process-wide table, built on first use.
+/// The wide variable-time comb: `table[w][d-1] = d · 256^w · G`.
+pub struct WideGeneratorTable {
+    windows: Vec<[AffinePoint; WIDE_DIGITS]>,
+}
+
+impl WideGeneratorTable {
+    fn build() -> Self {
+        WideGeneratorTable {
+            windows: build_comb::<WIDE_DIGITS>(WIDE_WINDOWS),
+        }
+    }
+
+    /// The precomputed point `d · 256^w · G` (`d ∈ [1, 255]`).
+    ///
+    /// Direct indexing — only for *public* scalar digits (the vartime
+    /// fixed-base walk).
+    #[inline]
+    pub fn entry(&self, window: usize, digit: u8) -> &AffinePoint {
+        debug_assert!(digit >= 1);
+        &self.windows[window][digit as usize - 1]
+    }
+}
+
+/// Builds a comb of `windows` windows with `D` nonzero digits each:
+/// `out[w][d-1] = d · (D+1)^w · G`, normalized to affine around one
+/// shared inversion.
+fn build_comb<const D: usize>(windows: usize) -> Vec<[AffinePoint; D]> {
+    let mut jac: Vec<JacobianPoint> = Vec::with_capacity(windows * D);
+    let mut base = JacobianPoint::from_affine(&AffinePoint::generator());
+    for _ in 0..windows {
+        let start = jac.len();
+        jac.push(base); // 1·base
+        for d in 2..=D {
+            let next = if d % 2 == 0 {
+                jac[start + d / 2 - 1].double()
+            } else {
+                jac[start + d - 2].add(&base)
+            };
+            jac.push(next);
+        }
+        // (D+1)·base = 2·(((D+1)/2)·base) feeds the next window.
+        base = jac[start + D.div_ceil(2) - 1].double();
+    }
+    let affine = batch_normalize(&jac);
+    affine
+        .chunks_exact(D)
+        .map(|chunk| {
+            let mut w = [AffinePoint::identity(); D];
+            w.copy_from_slice(chunk);
+            w
+        })
+        .collect()
+}
+
+/// The shared process-wide ct comb, built on first use.
 pub fn generator_table() -> &'static GeneratorTable {
     static TABLE: OnceLock<GeneratorTable> = OnceLock::new();
     TABLE.get_or_init(GeneratorTable::build)
+}
+
+/// The shared process-wide wide comb, built on first use.
+pub fn generator_table_wide() -> &'static WideGeneratorTable {
+    static TABLE: OnceLock<WideGeneratorTable> = OnceLock::new();
+    TABLE.get_or_init(WideGeneratorTable::build)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scalar::Scalar;
+
+    fn digit_scalar(d: u64, radix: u64, w: usize) -> Scalar {
+        let mut scalar = Scalar::from_u64(d);
+        for _ in 0..w {
+            scalar = scalar.mul(&Scalar::from_u64(radix));
+        }
+        scalar
+    }
 
     #[test]
     fn table_entries_match_generic_mul() {
@@ -101,13 +158,30 @@ mod tests {
         // Spot-check digits across several windows against the generic
         // scalar multiplication: d · 16^w.
         for &(w, d) in &[(0usize, 1u8), (0, 15), (1, 1), (1, 9), (7, 3), (63, 15)] {
-            let mut scalar = Scalar::from_u64(d as u64);
-            for _ in 0..w {
-                scalar = scalar.mul(&Scalar::from_u64(16));
-            }
             assert_eq!(
                 *table.entry(w, d),
-                g.mul_vartime(&scalar),
+                g.mul_vartime(&digit_scalar(d as u64, 16, w)),
+                "window {w} digit {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn wide_table_entries_match_generic_mul() {
+        let g = AffinePoint::generator();
+        let table = generator_table_wide();
+        for &(w, d) in &[
+            (0usize, 1u8),
+            (0, 255),
+            (1, 1),
+            (1, 254),
+            (7, 3),
+            (15, 129),
+            (31, 255),
+        ] {
+            assert_eq!(
+                *table.entry(w, d),
+                g.mul_vartime(&digit_scalar(d as u64, 256, w)),
                 "window {w} digit {d}"
             );
         }
@@ -120,6 +194,19 @@ mod tests {
             for d in 1..=DIGITS as u8 {
                 let p = table.entry(w, d);
                 assert!(p.is_on_curve() && !p.infinity);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_entries_sampled_on_curve() {
+        // The full wide comb has 8160 entries; a strided sample keeps
+        // the test fast while still covering every window.
+        let table = generator_table_wide();
+        for w in 0..WIDE_WINDOWS {
+            for d in [1u8, 2, 17, 128, 255] {
+                let p = table.entry(w, d);
+                assert!(p.is_on_curve() && !p.infinity, "window {w} digit {d}");
             }
         }
     }

@@ -2,8 +2,15 @@
 //!
 //! Scalars are the exponents of the group: private keys, ECDSA nonces,
 //! the ECQV hash values `e = H_n(Cert)` and the reconstruction data `r`.
+//! Like [`crate::field`], the hot operations run on the specialized
+//! fixed-constant backend ([`crate::backend`]) — the order limbs and
+//! `n0` fold in at compile time and every reduction is branch-free.
+//! Inversion walks a fixed 4-bit window chain over the public constant
+//! exponent `n − 2` (252 squarings + 69 multiplications, the same
+//! schedule for every input) instead of generic bit-scanning
+//! square-and-multiply.
 
-use crate::mont::MontCtx;
+use crate::backend::{self, MontParams};
 use crate::u256::U256;
 use crate::CurveError;
 use ecq_crypto::HmacDrbg;
@@ -12,9 +19,63 @@ use std::sync::OnceLock;
 /// The P-256 group order, big-endian hex.
 pub const N_HEX: &str = "ffffffff00000000ffffffffffffffffbce6faada7179e84f3b9cac2fc632551";
 
-fn ctx() -> &'static MontCtx {
-    static CTX: OnceLock<MontCtx> = OnceLock::new();
-    CTX.get_or_init(|| MontCtx::new(U256::from_be_hex(N_HEX)))
+/// The group order as little-endian limbs.
+const N_LIMBS: [u64; 4] = [
+    0xf3b9_cac2_fc63_2551,
+    0xbce6_faad_a717_9e84,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_0000_0000,
+];
+
+/// `n − 2`, the Fermat inversion exponent (public, fixed).
+const N_MINUS_2: U256 = U256::from_limbs([
+    0xf3b9_cac2_fc63_254f,
+    0xbce6_faad_a717_9e84,
+    0xffff_ffff_ffff_ffff,
+    0xffff_ffff_0000_0000,
+]);
+
+/// Compile-time Montgomery parameters for the order field.
+const N_PARAMS: MontParams = MontParams::new(N_LIMBS);
+
+/// Test-only counters for the scalar-operation schedule (see
+/// `field::fe_ops`); the inversion ct test asserts the window chain is
+/// input-independent.
+#[cfg(test)]
+pub(crate) mod scalar_ops {
+    use std::cell::Cell;
+
+    thread_local! {
+        static MULS: Cell<u64> = const { Cell::new(0) };
+        static SQUARES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Snapshot of this thread's scalar-operation counters.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Counts {
+        pub muls: u64,
+        pub squares: u64,
+    }
+
+    pub fn record_mul() {
+        MULS.with(|c| c.set(c.get() + 1));
+    }
+    pub fn record_square() {
+        SQUARES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Runs `f` with zeroed counters and returns its result plus the
+    /// scalar operations it performed on this thread.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (R, Counts) {
+        MULS.with(|c| c.set(0));
+        SQUARES.with(|c| c.set(0));
+        let result = f();
+        let counts = Counts {
+            muls: MULS.with(Cell::get),
+            squares: SQUARES.with(Cell::get),
+        };
+        (result, counts)
+    }
 }
 
 /// A scalar mod `n` in Montgomery form.
@@ -37,36 +98,56 @@ impl Scalar {
 
     /// The scalar 1.
     pub fn one() -> Self {
-        Scalar(ctx().r1)
+        Scalar(U256::from_limbs(N_PARAMS.r1))
     }
 
     /// The group order `n` as an integer.
     pub fn order() -> U256 {
-        ctx().m
+        U256::from_limbs(N_LIMBS)
     }
 
     /// Builds from a canonical integer `< n`; `None` otherwise.
     pub fn from_canonical(v: &U256) -> Option<Self> {
-        if *v >= ctx().m {
+        if *v >= Self::order() {
             None
         } else {
-            Some(Scalar(ctx().to_mont(v)))
+            Some(Scalar(U256::from_limbs(backend::mont_mul(
+                &v.limbs(),
+                &N_PARAMS.r2,
+                &N_PARAMS,
+            ))))
         }
     }
 
     /// Builds from an arbitrary 256-bit integer, reducing mod n.
     pub fn from_reduced(v: &U256) -> Self {
-        Scalar(ctx().to_mont(&ctx().reduce(v)))
+        let reduced = backend::reduce_once(&v.limbs(), &N_PARAMS);
+        Scalar(U256::from_limbs(backend::mont_mul(
+            &reduced,
+            &N_PARAMS.r2,
+            &N_PARAMS,
+        )))
     }
 
     /// Builds from a 512-bit integer, reducing mod n (for wide hashes).
+    /// Runs a Montgomery-based wide reduction — the bit-by-bit
+    /// [`crate::mont::MontCtx::reduce_wide`] stays as the oracle only.
     pub fn from_wide(wide: &[u64; 8]) -> Self {
-        Scalar(ctx().to_mont(&ctx().reduce_wide(wide)))
+        let canonical = backend::reduce_wide(wide, &N_PARAMS);
+        Scalar(U256::from_limbs(backend::mont_mul(
+            &canonical,
+            &N_PARAMS.r2,
+            &N_PARAMS,
+        )))
     }
 
     /// Builds from a small integer.
     pub fn from_u64(v: u64) -> Self {
-        Scalar(ctx().to_mont(&U256::from_u64(v)))
+        Scalar(U256::from_limbs(backend::mont_mul(
+            &[v, 0, 0, 0],
+            &N_PARAMS.r2,
+            &N_PARAMS,
+        )))
     }
 
     /// Parses 32 big-endian bytes as a canonical scalar.
@@ -102,7 +183,7 @@ impl Scalar {
 
     /// Returns the canonical integer value.
     pub fn to_canonical(self) -> U256 {
-        ctx().from_mont(&self.0)
+        U256::from_limbs(backend::mont_mul(&self.0.limbs(), &[1, 0, 0, 0], &N_PARAMS))
     }
 
     /// Serializes to 32 big-endian bytes.
@@ -117,38 +198,89 @@ impl Scalar {
 
     /// Addition mod n.
     pub fn add(&self, rhs: &Self) -> Self {
-        Scalar(ctx().add(&self.0, &rhs.0))
+        Scalar(U256::from_limbs(backend::add_mod(
+            &self.0.limbs(),
+            &rhs.0.limbs(),
+            &N_PARAMS,
+        )))
     }
 
     /// Subtraction mod n.
     pub fn sub(&self, rhs: &Self) -> Self {
-        Scalar(ctx().sub(&self.0, &rhs.0))
+        Scalar(U256::from_limbs(backend::sub_mod(
+            &self.0.limbs(),
+            &rhs.0.limbs(),
+            &N_PARAMS,
+        )))
     }
 
     /// Negation mod n.
     pub fn neg(&self) -> Self {
-        Scalar(ctx().neg(&self.0))
+        Scalar(U256::from_limbs(backend::neg_mod(
+            &self.0.limbs(),
+            &N_PARAMS,
+        )))
     }
 
     /// Multiplication mod n.
     pub fn mul(&self, rhs: &Self) -> Self {
-        Scalar(ctx().mont_mul(&self.0, &rhs.0))
+        #[cfg(test)]
+        scalar_ops::record_mul();
+        Scalar(U256::from_limbs(backend::mont_mul(
+            &self.0.limbs(),
+            &rhs.0.limbs(),
+            &N_PARAMS,
+        )))
     }
 
-    /// Multiplicative inverse mod n.
+    /// Squaring mod n (dedicated pass, cheaper than `mul(self, self)`).
+    pub fn square(&self) -> Self {
+        #[cfg(test)]
+        scalar_ops::record_square();
+        Scalar(U256::from_limbs(backend::mont_sqr(
+            &self.0.limbs(),
+            &N_PARAMS,
+        )))
+    }
+
+    /// Multiplicative inverse mod n via Fermat's little theorem with a
+    /// fixed 4-bit window chain over the constant exponent `n − 2`.
+    ///
+    /// The exponent is public, so its zero windows may be skipped
+    /// without leaking anything about `self`; what matters for
+    /// constant time is that the schedule never depends on the *base*,
+    /// and it cannot — the window digits are compile-time constants.
+    /// Every call costs exactly 252 squarings and 69 multiplications
+    /// (14 table + 55 window), asserted by the ct schedule test.
     ///
     /// # Panics
     ///
     /// Panics when `self` is zero.
     pub fn invert(&self) -> Self {
-        Scalar(ctx().mont_inv(&self.0))
+        assert!(!self.0.is_zero(), "attempted to invert zero");
+        // table[d-1] = self^d for d ∈ [1, 15].
+        let mut table = [*self; 15];
+        for i in 1..15 {
+            table[i] = table[i - 1].mul(self);
+        }
+        // Walk the 64 window digits of n − 2 from the top; the leading
+        // digit (0xf) seeds the accumulator.
+        let mut acc = table[N_MINUS_2.nibble(63) as usize - 1];
+        for w in (0..63).rev() {
+            acc = acc.square().square().square().square();
+            let d = N_MINUS_2.nibble(w);
+            if d != 0 {
+                acc = acc.mul(&table[d as usize - 1]);
+            }
+        }
+        acc
     }
 
     /// Whether the canonical value is in the "high" half (`> n/2`);
     /// used for low-s ECDSA normalization.
     pub fn is_high(&self) -> bool {
         static HALF: OnceLock<U256> = OnceLock::new();
-        let half = HALF.get_or_init(|| ctx().m.shr1());
+        let half = HALF.get_or_init(|| Scalar::order().shr1());
         self.to_canonical() > *half
     }
 }
@@ -170,6 +302,21 @@ mod tests {
         assert_eq!(a.mul(&Scalar::one()), a);
         assert_eq!(a.sub(&a), Scalar::zero());
         assert_eq!(a.mul(&a.invert()), Scalar::one());
+    }
+
+    #[test]
+    fn limbs_hex_agree() {
+        assert_eq!(Scalar::order(), U256::from_be_hex(N_HEX));
+        assert_eq!(N_MINUS_2, Scalar::order().wrapping_sub(&U256::from_u64(2)));
+    }
+
+    #[test]
+    fn square_matches_mul() {
+        let mut a = Scalar::from_u64(3);
+        for _ in 0..32 {
+            assert_eq!(a.square(), a.mul(&a));
+            a = a.square().add(&Scalar::one());
+        }
     }
 
     #[test]
@@ -214,6 +361,30 @@ mod tests {
         let nm1 = Scalar::from_u64(1).neg();
         let wide = nm1.to_canonical().widening_mul(&nm1.to_canonical());
         assert_eq!(Scalar::from_wide(&wide), Scalar::one());
+        // All-ones 512-bit value against the bit-by-bit oracle.
+        let ctx = crate::mont::MontCtx::new(Scalar::order());
+        let ones = [u64::MAX; 8];
+        assert_eq!(
+            Scalar::from_wide(&ones).to_canonical(),
+            ctx.reduce_wide(&ones)
+        );
+    }
+
+    #[test]
+    fn inversion_schedule_is_input_independent() {
+        // 252 squarings + 69 multiplications, for every base.
+        let mut schedules = Vec::new();
+        for v in [1u64, 2, 0xdead_beef, u64::MAX] {
+            let a = Scalar::from_u64(v);
+            let (inv, counts) = scalar_ops::measure(|| a.invert());
+            assert_eq!(a.mul(&inv), Scalar::one(), "v={v}");
+            assert_eq!(counts.squares, 252, "v={v}: {counts:?}");
+            assert_eq!(counts.muls, 69, "v={v}: {counts:?}");
+            schedules.push(counts);
+        }
+        let (_, counts) = scalar_ops::measure(|| Scalar::from_u64(1).neg().invert());
+        schedules.push(counts);
+        assert!(schedules.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

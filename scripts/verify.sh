@@ -46,6 +46,18 @@ run_fleet() {
     --json BENCH_fleet.json \
     --baseline ci/BENCH_fleet_baseline.json \
     --gate-pct 20
+
+  # Thread-scaling floor: 8 workers must not fall below 2 (release
+  # mode, isolated from the rest of the suite — the test is #[ignore]d
+  # under plain `cargo test` because a wall-clock comparison is noise
+  # in the parallel debug harness).
+  echo "==> fleet thread-scaling assertion (8 threads >= 2 threads)"
+  cargo test --release -q -p ecq_fleet --test fleet_smoke -- --ignored
+
+  # Per-primitive trajectory: the specialized backend vs the generic
+  # MontCtx reference, recorded as an artifact next to BENCH_fleet.json.
+  echo "==> p256 primitive bench (BENCH_p256.json artifact)"
+  cargo run --release -q --bin bench_p256 -- --json BENCH_p256.json
 }
 
 case "$mode" in
