@@ -13,7 +13,6 @@
 //!   succeeds against the session-key-bound baseline and fails against
 //!   STS.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod attacks;

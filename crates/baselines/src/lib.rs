@@ -17,7 +17,6 @@
 //! format reproduces its Table II column byte-for-byte and whose
 //! primitive trace drives the Table I device timings.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod poramb;

@@ -14,7 +14,6 @@
 //! | `ablation` | design-choice ablations (DESIGN.md §7) |
 //! | `attacks` | executable §V-D attack experiments |
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use ecq_baselines::{establish_poramb, establish_s_ecdsa, establish_scianc};

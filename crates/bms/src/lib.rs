@@ -31,7 +31,6 @@
 //! assert!(overhead > 1.10 && overhead < 1.40);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod emulator;

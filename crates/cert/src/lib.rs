@@ -40,7 +40,6 @@
 //! assert_eq!(mul_generator_ct(&keys.private), keys.public);
 //! ```
 
-#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod ca;

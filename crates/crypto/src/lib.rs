@@ -30,10 +30,6 @@
 //! assert_ne!(session_key, [0u8; 16]);
 //! ```
 
-// `deny` rather than `forbid`: `zeroize` carves out two volatile-store
-// helpers with explicit `#[allow(unsafe_code)]`; everything else stays
-// unsafe-free.
-#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;

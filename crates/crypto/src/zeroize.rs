@@ -14,6 +14,11 @@
 //! travel through return values (e.g. the ECDH premaster in
 //! `ecq_p256::ecdh::shared_secret`).
 
+// The workspace denies `unsafe_code`; this module is the one sanctioned
+// carve-out, for the two volatile-store wipe helpers below. Every
+// unsafe block carries a SAFETY comment.
+#![allow(unsafe_code)]
+
 use core::sync::atomic::{compiler_fence, Ordering};
 
 /// Types whose in-memory representation can be overwritten with zeros.
@@ -27,7 +32,6 @@ pub trait Zeroize {
 
 /// Overwrites a byte buffer with zeros through volatile stores, then
 /// fences so the stores are not sunk past the caller's drop point.
-#[allow(unsafe_code)] // the one purpose the crate-level deny carves out
 pub fn wipe_bytes(buf: &mut [u8]) {
     for b in buf.iter_mut() {
         // SAFETY: `b` is a valid, aligned, exclusive reference.
@@ -38,7 +42,6 @@ pub fn wipe_bytes(buf: &mut [u8]) {
 
 /// Overwrites a `u64` buffer with zeros through volatile stores, then
 /// fences (limb-granular variant for the curve layers).
-#[allow(unsafe_code)]
 pub fn wipe_u64s(buf: &mut [u64]) {
     for w in buf.iter_mut() {
         // SAFETY: `w` is a valid, aligned, exclusive reference.

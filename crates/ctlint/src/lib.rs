@@ -1,0 +1,128 @@
+//! `ecq_lint` — a workspace-wide secret-flow static analyzer.
+//!
+//! The paper's security argument rests on every secret-dependent
+//! computation (ECQV blinding, STS ephemerals, ECDH, signing nonces)
+//! being timing-silent. PRs 3 and 5 built the constant-time machinery;
+//! this crate machine-checks the boundary between the `*_ct` and
+//! `*_vartime` worlds instead of leaving it to `grep` and review:
+//!
+//! 1. it lexes and indexes every workspace source file (hand-rolled
+//!    token scanner — the container is offline, so no `syn`),
+//! 2. seeds a secrecy taint set from marker types (`Scalar`,
+//!    `KeyPair`, `SessionKey`, `Zeroizing`) and `// ct-secret`
+//!    annotations,
+//! 3. propagates taint through the call graph, and
+//! 4. reports four finding classes (see [`taint::Class`]):
+//!    variable-time calls reachable from secret contexts,
+//!    secret-dependent control flow or indexing, non-constant-time
+//!    equality on secrets, and secret-holding types without
+//!    zeroize-on-drop.
+//!
+//! Audited public-input vartime sites (ECDSA verification, the
+//! eq. (1) reconstruction, Shamir/Straus, benches, attack tooling)
+//! live in `ci/ctlint_allow.toml` with per-entry justifications; the
+//! lint fails on any unsuppressed finding, any stale allowlist entry
+//! and any entry missing its justification, so `cargo run -p ecq_lint`
+//! is a CI-gated, zero-findings-clean pass.
+
+#![deny(missing_docs)]
+
+pub mod allowlist;
+pub mod index;
+pub mod lexer;
+pub mod taint;
+
+use index::Index;
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned: build output, vendored stand-ins,
+/// test code (which compares secrets with `assert_eq!` by design) and
+/// the lint's own seeded-violation fixtures.
+pub const SKIP_DIRS: &[&str] = &["target", "third_party", "tests", "fixtures", ".git"];
+
+/// Recursively collects the `.rs` files to scan under `root`,
+/// skipping [`SKIP_DIRS`]. Paths come back sorted, relative to `root`.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Builds the item index for every source under `root`.
+pub fn index_workspace(root: &Path) -> std::io::Result<Index> {
+    let mut ix = Index::default();
+    for rel in workspace_sources(root)? {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        ix.add_file(&rel.to_string_lossy().replace('\\', "/"), &src);
+    }
+    Ok(ix)
+}
+
+/// A full lint run: findings after allowlist application, plus any
+/// allowlist problems.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Functions indexed.
+    pub fns: usize,
+    /// Findings not covered by the allowlist.
+    pub unsuppressed: Vec<taint::Finding>,
+    /// Findings suppressed, with the justification that covered them.
+    pub suppressed: Vec<(taint::Finding, String)>,
+    /// Stale allowlist entries (matched nothing).
+    pub stale: Vec<allowlist::Entry>,
+    /// Structural allowlist errors (bad class, missing justification).
+    pub allowlist_errors: Vec<allowlist::AllowlistError>,
+}
+
+impl Report {
+    /// Whether the run is clean (gates CI).
+    pub fn is_clean(&self) -> bool {
+        self.unsuppressed.is_empty() && self.stale.is_empty() && self.allowlist_errors.is_empty()
+    }
+}
+
+/// Runs the analyzer over `root` with `cfg`, applying the allowlist at
+/// `allowlist_path` when it exists.
+pub fn run(
+    root: &Path,
+    cfg: &taint::Config,
+    allowlist_path: Option<&Path>,
+) -> std::io::Result<Report> {
+    let ix = index_workspace(root)?;
+    let findings = taint::analyze(&ix, cfg);
+    let (entries, allowlist_errors) = match allowlist_path {
+        Some(p) if p.exists() => allowlist::parse(&std::fs::read_to_string(p)?),
+        _ => (Vec::new(), Vec::new()),
+    };
+    let applied = allowlist::apply(findings, &entries);
+    Ok(Report {
+        files: ix.files.len(),
+        fns: ix.fns.len(),
+        unsuppressed: applied.unsuppressed,
+        suppressed: applied
+            .suppressed
+            .into_iter()
+            .map(|(f, i)| (f, entries[i].justification.clone()))
+            .collect(),
+        stale: applied.stale,
+        allowlist_errors,
+    })
+}

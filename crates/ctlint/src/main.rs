@@ -1,0 +1,96 @@
+//! `cargo run -p ecq_lint` — the CI entry point for the secret-flow
+//! static analyzer. Exits nonzero on any unsuppressed finding, stale
+//! allowlist entry or malformed allowlist.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allowlist: Option<PathBuf> = None;
+    let mut verbose = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().unwrap_or_else(|| ".".into()));
+            }
+            "--allowlist" => {
+                allowlist = args.next().map(PathBuf::from);
+            }
+            "--verbose" | "-v" => verbose = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ecq_lint [--root DIR] [--allowlist FILE] [--verbose]\n\
+                     Scans DIR (default .) for secret-flow findings; the allowlist\n\
+                     defaults to DIR/ci/ctlint_allow.toml."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("ecq_lint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let allowlist = allowlist.unwrap_or_else(|| root.join("ci/ctlint_allow.toml"));
+
+    let report = match ecq_lint::run(&root, &ecq_lint::taint::Config::default(), Some(&allowlist)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ecq_lint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for e in &report.allowlist_errors {
+        println!(
+            "{}:{}: [allowlist] {}",
+            allowlist.display(),
+            e.line,
+            e.message
+        );
+    }
+    for e in &report.stale {
+        println!(
+            "{}:{}: [allowlist] stale entry for `{}` in {} — no live finding matches it",
+            allowlist.display(),
+            e.line,
+            e.context,
+            e.file
+        );
+    }
+    for f in &report.unsuppressed {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.class.name(), f.message);
+    }
+    if verbose {
+        for (f, why) in &report.suppressed {
+            println!(
+                "{}:{}: [{}] allowed: {} — {}",
+                f.file,
+                f.line,
+                f.class.name(),
+                f.message,
+                why
+            );
+        }
+    }
+
+    println!(
+        "ecq_lint: {} files, {} fns; {} finding(s), {} allowed, {} stale allowlist entr{}",
+        report.files,
+        report.fns,
+        report.unsuppressed.len(),
+        report.suppressed.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" }
+    );
+
+    if report.is_clean() {
+        println!("ecq_lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

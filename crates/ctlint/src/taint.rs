@@ -1,0 +1,631 @@
+//! Secrecy taint analysis over the item index.
+//!
+//! **Seeding.** A binding is tainted when its type mentions a marker
+//! type (`Scalar`, `KeyPair`, `SessionKey`, `Zeroizing` by default —
+//! the types PRs 3 and 5 built the constant-time machinery for) or it
+//! carries a `// ct-secret` annotation. A function is a *secret
+//! context* when it binds tainted state: a marker-typed parameter, a
+//! `self` whose type is a marker or holds a tainted field, a
+//! marker-typed return (it manufactures secrets), or a `// ct-secret`
+//! annotation.
+//!
+//! **Propagation.** For the vartime-reachability check, secrecy flows
+//! through the call graph: every function transitively callable from a
+//! secret context is treated as operating under secret-derived state.
+//! Calls are resolved by simple name against the whole-workspace index
+//! (an over-approximation — ambiguous names connect to every
+//! candidate — which errs toward flagging; the allowlist records the
+//! audited exceptions).
+//!
+//! **Finding classes.**
+//! 1. `vartime-call` — a call to a `*_vartime` / `// ct-vartime`
+//!    function from a function in the secret-reachable set (the
+//!    vartime family's own bodies are the audited boundary and are
+//!    exempt).
+//! 2. `secret-branch` — an `if`/`while`/`match` condition or array
+//!    index that mentions a tainted binding inside a secret context
+//!    (early returns under such a condition are the same finding).
+//! 3. `nonct-eq` — `==`/`!=` with a tainted operand inside a secret
+//!    context instead of `ecq_crypto::ct::eq`.
+//! 4. `missing-zeroize` — a struct holding tainted fields where
+//!    neither the struct (via `Drop`/`Zeroize`) nor every tainted
+//!    field's own type wipes itself on drop.
+
+use crate::index::{FnItem, Index};
+use crate::lexer::{Tok, TokKind};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Default marker types seeding the taint analysis.
+pub const DEFAULT_MARKERS: &[&str] = &["Scalar", "KeyPair", "SessionKey", "Zeroizing"];
+
+/// The four finding classes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Class {
+    /// Variable-time call reachable from a secret context.
+    VartimeCall,
+    /// Secret-dependent branch, loop, match or array index.
+    SecretBranch,
+    /// Non-constant-time equality on tainted data.
+    NonCtEq,
+    /// Secret-holding struct without zeroize-on-drop.
+    MissingZeroize,
+}
+
+impl Class {
+    /// The class name used in reports and the allowlist.
+    pub fn name(self) -> &'static str {
+        match self {
+            Class::VartimeCall => "vartime-call",
+            Class::SecretBranch => "secret-branch",
+            Class::NonCtEq => "nonct-eq",
+            Class::MissingZeroize => "missing-zeroize",
+        }
+    }
+
+    /// Parses a class name (as spelled in the allowlist).
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "vartime-call" => Some(Class::VartimeCall),
+            "secret-branch" => Some(Class::SecretBranch),
+            "nonct-eq" => Some(Class::NonCtEq),
+            "missing-zeroize" => Some(Class::MissingZeroize),
+            _ => None,
+        }
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Scanned file (relative path).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Class.
+    pub class: Class,
+    /// Enclosing function (qualified) or struct name.
+    pub context: String,
+    /// The specific identifier involved (callee, tainted binding or
+    /// field name).
+    pub ident: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Analysis configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Marker type names seeding taint.
+    pub markers: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            markers: DEFAULT_MARKERS.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+}
+
+/// Runs all four checks over an index. Findings are sorted by
+/// (file, line, class).
+pub fn analyze(ix: &Index, cfg: &Config) -> Vec<Finding> {
+    let markers: HashSet<&str> = cfg.markers.iter().map(String::as_str).collect();
+    let mentions_marker = |ty: &str| ty.split_whitespace().any(|w| markers.contains(w));
+
+    // Struct-level taint: which structs hold tainted fields.
+    let mut tainted_fields: HashMap<&str, Vec<&crate::index::Field>> = HashMap::new();
+    for s in &ix.structs {
+        let tf: Vec<_> = s
+            .fields
+            .iter()
+            .filter(|f| f.ct_secret || mentions_marker(&f.ty))
+            .collect();
+        if !tf.is_empty() || s.ct_secret {
+            tainted_fields.insert(s.name.as_str(), tf);
+        }
+    }
+
+    // Secret contexts (direct seeding).
+    let is_secret = |f: &FnItem| -> bool {
+        if f.ct_secret {
+            return true;
+        }
+        // A `// ct-secret` annotation on a `let` inside the body makes
+        // the whole function a secret context.
+        if f.body.iter().any(|t| t.is_annotation("ct-secret")) {
+            return true;
+        }
+        if f.params.iter().any(|p| mentions_marker(&p.ty)) {
+            return true;
+        }
+        if mentions_marker(&f.ret) {
+            return true;
+        }
+        if f.has_self {
+            if let Some(st) = &f.self_type {
+                if markers.contains(st.as_str()) || tainted_fields.contains_key(st.as_str()) {
+                    return true;
+                }
+            }
+        }
+        false
+    };
+
+    // Call graph by simple name.
+    let by_name: HashMap<&str, Vec<usize>> = {
+        let mut m: HashMap<&str, Vec<usize>> = HashMap::new();
+        for (i, f) in ix.fns.iter().enumerate() {
+            m.entry(f.name.as_str()).or_default().push(i);
+        }
+        m
+    };
+    let calls: Vec<Vec<(String, u32)>> = ix.fns.iter().map(|f| call_sites(&f.body)).collect();
+
+    // Vartime family: every *_vartime / ct-vartime fn name.
+    let vartime_names: HashSet<&str> = ix
+        .fns
+        .iter()
+        .filter(|f| f.vartime)
+        .map(|f| f.name.as_str())
+        .collect();
+
+    // Reachability: BFS from secret contexts through the call graph.
+    // Edges out of vartime-family functions are not followed — their
+    // bodies are the audited boundary.
+    let mut reachable: Vec<bool> = ix.fns.iter().map(is_secret).collect();
+    let mut work: Vec<usize> = reachable
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &r)| r.then_some(i))
+        .collect();
+    while let Some(i) = work.pop() {
+        if ix.fns[i].vartime {
+            continue;
+        }
+        for (callee, _) in &calls[i] {
+            if let Some(targets) = by_name.get(callee.as_str()) {
+                for &t in targets {
+                    if !reachable[t] {
+                        reachable[t] = true;
+                        work.push(t);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut findings = Vec::new();
+
+    // Class 1: vartime calls from the secret-reachable set.
+    for (i, f) in ix.fns.iter().enumerate() {
+        if !reachable[i] || f.vartime {
+            continue;
+        }
+        for (callee, line) in &calls[i] {
+            let is_vartime_call =
+                callee.ends_with("_vartime") || vartime_names.contains(callee.as_str());
+            if is_vartime_call {
+                findings.push(Finding {
+                    file: ix.files[f.file].clone(),
+                    line: *line,
+                    class: Class::VartimeCall,
+                    context: f.qual.clone(),
+                    ident: callee.clone(),
+                    message: format!(
+                        "`{}` calls variable-time `{}` while reachable from a secret context",
+                        f.qual, callee
+                    ),
+                });
+            }
+        }
+    }
+
+    // Classes 2 and 3: token scans of secret-context bodies.
+    for f in ix.fns.iter() {
+        if f.vartime || !is_secret(f) {
+            continue;
+        }
+        let tainted = tainted_bindings(f, &markers, &tainted_fields, &mentions_marker);
+        if tainted.is_empty() {
+            continue;
+        }
+        scan_body(f, &ix.files[f.file], &tainted, &mut findings);
+    }
+
+    // Class 4: secret-holding structs without zeroize-on-drop.
+    let wipes: HashSet<&str> = ix
+        .drop_impls
+        .iter()
+        .chain(ix.zeroize_impls.iter())
+        .map(String::as_str)
+        .collect();
+    for s in &ix.structs {
+        let Some(tf) = tainted_fields.get(s.name.as_str()) else {
+            continue;
+        };
+        if wipes.contains(s.name.as_str()) {
+            continue;
+        }
+        // Safe containment: every tainted field's own type wipes
+        // itself on drop (`Zeroizing<…>` or a type with Drop/Zeroize).
+        let self_wiping = |ty: &str| {
+            ty.split_whitespace()
+                .any(|w| w == "Zeroizing" || wipes.contains(w))
+        };
+        if !tf.is_empty() && tf.iter().all(|f| self_wiping(&f.ty)) {
+            continue;
+        }
+        let culprit = tf
+            .iter()
+            .find(|f| !self_wiping(&f.ty))
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        findings.push(Finding {
+            file: ix.files[s.file].clone(),
+            line: s.line,
+            class: Class::MissingZeroize,
+            context: s.name.clone(),
+            ident: culprit.clone(),
+            message: format!(
+                "struct `{}` holds secret field `{}` but has no Drop/Zeroize impl",
+                s.name, culprit
+            ),
+        });
+    }
+
+    // A `nonct-eq` on a line shadows the `secret-branch` the same
+    // condition would also raise — keep the more specific class.
+    let eq_lines: HashSet<(String, u32)> = findings
+        .iter()
+        .filter(|f| f.class == Class::NonCtEq)
+        .map(|f| (f.file.clone(), f.line))
+        .collect();
+    findings.retain(|f| {
+        f.class != Class::SecretBranch || !eq_lines.contains(&(f.file.clone(), f.line))
+    });
+
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
+/// Extracts `(callee simple name, line)` pairs from body tokens: an
+/// identifier directly followed by `(`, or via turbofish `::<T>(`.
+/// Macro invocations (`name!(…)`) are not calls, but their arguments
+/// are scanned like any other tokens.
+fn call_sites(body: &[Tok]) -> Vec<(String, u32)> {
+    let sig: Vec<&Tok> = body.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Keywords never name calls.
+        if matches!(
+            t.text.as_str(),
+            "if" | "while"
+                | "match"
+                | "for"
+                | "return"
+                | "let"
+                | "fn"
+                | "move"
+                | "in"
+                | "as"
+                | "loop"
+                | "else"
+                | "break"
+                | "continue"
+                | "unsafe"
+                | "mut"
+                | "ref"
+                | "where"
+        ) {
+            continue;
+        }
+        let mut j = i + 1;
+        // `name!` is a macro, not a call.
+        if sig.get(j).map(|n| n.is_punct("!")).unwrap_or(false) {
+            continue;
+        }
+        // Turbofish: name::<...>(
+        if sig.get(j).map(|n| n.is_punct("::")).unwrap_or(false)
+            && sig.get(j + 1).map(|n| n.is_punct("<")).unwrap_or(false)
+        {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < sig.len() {
+                if sig[k].is_punct("<") {
+                    depth += 1;
+                } else if sig[k].is_punct(">") || sig[k].is_punct(">>") {
+                    depth -= if sig[k].is_punct(">>") { 2 } else { 1 };
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if sig.get(j).map(|n| n.is_punct("(")).unwrap_or(false) {
+            // Skip path prefixes: in `a::b(…)` only `b` is the callee;
+            // `i` already points at the segment before `(`.
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+/// The tainted binding names visible in a function body.
+fn tainted_bindings(
+    f: &FnItem,
+    markers: &HashSet<&str>,
+    tainted_fields: &HashMap<&str, Vec<&crate::index::Field>>,
+    mentions_marker: &dyn Fn(&str) -> bool,
+) -> BTreeSet<String> {
+    let mut tainted = BTreeSet::new();
+    for p in &f.params {
+        if mentions_marker(&p.ty) {
+            for n in &p.names {
+                tainted.insert(n.clone());
+            }
+        }
+    }
+    if f.has_self {
+        if let Some(st) = &f.self_type {
+            if markers.contains(st.as_str()) {
+                tainted.insert("self".to_string());
+            }
+            if let Some(tf) = tainted_fields.get(st.as_str()) {
+                // Approximation: the field names themselves — catches
+                // `self.key`-style accesses in conditions.
+                for field in tf {
+                    tainted.insert(field.name.clone());
+                }
+            }
+        }
+    }
+    // `let` bindings with an explicit marker type or a ct-secret
+    // comment on the same or preceding line.
+    let secret_lines: HashSet<u32> = f
+        .body
+        .iter()
+        .filter(|t| t.is_annotation("ct-secret"))
+        .map(|t| t.line)
+        .collect();
+    let sig: Vec<&Tok> = f.body.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in sig.iter().enumerate() {
+        if !t.is_ident("let") {
+            continue;
+        }
+        // Pattern: next idents up to `:`/`=` are the binding names.
+        let mut names = Vec::new();
+        let mut ty = Vec::new();
+        let mut in_ty = false;
+        let mut depth = 0i32;
+        for s in sig.iter().skip(i + 1) {
+            if s.is_punct("(") || s.is_punct("[") || s.is_punct("<") {
+                depth += 1;
+            } else if s.is_punct(")") || s.is_punct("]") || s.is_punct(">") {
+                depth -= 1;
+            } else if (s.is_punct("=") || s.is_punct(";")) && depth <= 0 {
+                break;
+            } else if s.is_punct(":") && depth <= 0 {
+                in_ty = true;
+                continue;
+            }
+            if s.kind == TokKind::Ident && s.text != "mut" && s.text != "ref" {
+                if in_ty {
+                    ty.push(s.text.clone());
+                } else {
+                    names.push(s.text.clone());
+                }
+            }
+        }
+        let annotated =
+            secret_lines.contains(&t.line) || secret_lines.contains(&t.line.saturating_sub(1));
+        let marked_ty = ty.iter().any(|w| markers.contains(w.as_str()));
+        if annotated || marked_ty {
+            for n in names {
+                tainted.insert(n);
+            }
+        }
+    }
+    tainted
+}
+
+/// Scans one secret-context body for classes 2 and 3.
+fn scan_body(f: &FnItem, file: &str, tainted: &BTreeSet<String>, findings: &mut Vec<Finding>) {
+    let sig: Vec<&Tok> = f.body.iter().filter(|t| !t.is_comment()).collect();
+    let is_tainted = |t: &Tok| t.kind == TokKind::Ident && tainted.contains(&t.text);
+
+    let mut i = 0usize;
+    while i < sig.len() {
+        let t = sig[i];
+        // Conditions: if / while / match up to the opening `{`.
+        if t.is_ident("if") || t.is_ident("while") || t.is_ident("match") {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut culprit: Option<&Tok> = None;
+            while j < sig.len() {
+                let s = sig[j];
+                if s.is_punct("(") || s.is_punct("[") {
+                    depth += 1;
+                } else if s.is_punct(")") || s.is_punct("]") {
+                    depth -= 1;
+                } else if s.is_punct("{") && depth <= 0 {
+                    break;
+                }
+                if culprit.is_none() && is_tainted(s) {
+                    culprit = Some(s);
+                }
+                j += 1;
+            }
+            if let Some(c) = culprit {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: c.line,
+                    class: Class::SecretBranch,
+                    context: f.qual.clone(),
+                    ident: c.text.clone(),
+                    message: format!(
+                        "`{}` branches (`{}`) on secret-derived `{}`",
+                        f.qual, t.text, c.text
+                    ),
+                });
+            }
+            i = j;
+            continue;
+        }
+        // Array indexing by a tainted value: `expr [ … tainted … ]`
+        // where `[` follows an ident/`)`/`]` (i.e. an index, not an
+        // array literal).
+        if t.is_punct("[") && i > 0 {
+            let prev = sig[i - 1];
+            let indexing = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if indexing {
+                let mut depth = 1i32;
+                let mut j = i + 1;
+                let mut culprit: Option<&Tok> = None;
+                while j < sig.len() && depth > 0 {
+                    let s = sig[j];
+                    if s.is_punct("[") {
+                        depth += 1;
+                    } else if s.is_punct("]") {
+                        depth -= 1;
+                    }
+                    if culprit.is_none() && is_tainted(s) {
+                        culprit = Some(s);
+                    }
+                    j += 1;
+                }
+                if let Some(c) = culprit {
+                    findings.push(Finding {
+                        file: file.to_string(),
+                        line: c.line,
+                        class: Class::SecretBranch,
+                        context: f.qual.clone(),
+                        ident: c.text.clone(),
+                        message: format!(
+                            "`{}` indexes by secret-derived `{}` (cache-line leak)",
+                            f.qual, c.text
+                        ),
+                    });
+                    i = j;
+                    continue;
+                }
+            }
+        }
+        // Non-ct equality: `==` / `!=` with a tainted operand nearby.
+        if t.is_punct("==") || t.is_punct("!=") {
+            let lo = i.saturating_sub(6);
+            let hi = (i + 7).min(sig.len());
+            if let Some(c) = sig[lo..hi].iter().find(|s| is_tainted(s)) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: t.line,
+                    class: Class::NonCtEq,
+                    context: f.qual.clone(),
+                    ident: c.text.clone(),
+                    message: format!(
+                        "`{}` compares secret-derived `{}` with `{}` (use ecq_crypto::ct::eq)",
+                        f.qual, c.text, t.text
+                    ),
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Keywords that can precede `[` without it being an index expression.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return" | "break" | "in" | "else" | "match" | "if" | "while" | "loop" | "let" | "mut"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut ix = Index::default();
+        ix.add_file("t.rs", src);
+        analyze(&ix, &Config::default())
+    }
+
+    #[test]
+    fn flags_vartime_call_from_secret_context() {
+        let f = run("fn mul_vartime(k: u8) {}\nfn sign(d: &Scalar) { mul_vartime(3); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].class, Class::VartimeCall);
+        assert_eq!(f[0].context, "sign");
+    }
+
+    #[test]
+    fn flags_transitive_vartime_reachability() {
+        let f = run(
+            "fn mul_vartime(k: u8) {}\nfn helper(x: u8) { mul_vartime(x); }\n\
+             fn sign(d: &Scalar) { helper(1); }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].context, "helper");
+    }
+
+    #[test]
+    fn vartime_bodies_are_exempt() {
+        let f =
+            run("fn inner_vartime(k: u8) {}\nfn outer_vartime(k: &Scalar) { inner_vartime(1); }\n");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn flags_secret_branch_and_index() {
+        let f = run("fn process(k: &Scalar, table: &[u8]) -> u8 {\n\
+                 if k.is_zero() { return 0; }\n\
+                 table[k.low_bits()]\n\
+             }\n");
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().all(|x| x.class == Class::SecretBranch));
+    }
+
+    #[test]
+    fn flags_nonct_eq_not_branch_on_same_line() {
+        let f = run("fn check(pm: &Zeroizing<[u8; 32]>, other: &[u8; 32]) -> bool { pm.as_ref() == other }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].class, Class::NonCtEq);
+    }
+
+    #[test]
+    fn flags_missing_zeroize_and_accepts_drop() {
+        let f = run("struct Bad { d: Scalar }\nstruct Good { d: Scalar }\nimpl Drop for Good { fn drop(&mut self) {} }\nimpl Drop for Scalar { fn drop(&mut self) {} }\n");
+        // `Bad` holds a Scalar (which wipes itself) — containment is
+        // safe, so only structs with genuinely unwiped fields flag.
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn flags_ct_secret_field_without_wipe() {
+        let f = run("struct Premaster {\n    // ct-secret\n    bytes: [u8; 32],\n}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].class, Class::MissingZeroize);
+        assert_eq!(f[0].context, "Premaster");
+    }
+
+    #[test]
+    fn ct_secret_let_annotation_taints() {
+        let f = run("fn kdf(seed: &[u8]) -> u8 {\n\
+                 // ct-secret\n\
+                 let k = expand(seed);\n\
+                 if k > 3 { 1 } else { 0 }\n\
+             }\n// ct-secret\nfn expand(s: &[u8]) -> u8 { 0 }\n");
+        assert!(f
+            .iter()
+            .any(|x| x.class == Class::SecretBranch && x.ident == "k"));
+    }
+}

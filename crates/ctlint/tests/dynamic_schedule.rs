@@ -1,0 +1,101 @@
+//! Dynamic companion to the static lint: drives real secret-bearing
+//! paths — full STS handshakes from `ecq_sts` down through the curve,
+//! plus ECDH and scalar inversion in isolation — under the
+//! `schedule-counters` feature's runtime op counters, and asserts the
+//! constant-time schedules are value-independent end-to-end across
+//! crate boundaries (the static analyzer proves no vartime call is
+//! *reachable*; this proves the ct paths actually taken perform an
+//! input-independent operation sequence).
+
+use ecq_cert::ca::CertificateAuthority;
+use ecq_cert::DeviceId;
+use ecq_crypto::HmacDrbg;
+use ecq_p256::field::fe_ops;
+use ecq_p256::point::{mul_generator_ct, ops};
+use ecq_p256::scalar::scalar_ops;
+use ecq_p256::Scalar;
+use ecq_proto::Credentials;
+use ecq_sts::{establish, StsConfig};
+
+fn setup(seed: u64) -> (Credentials, Credentials, HmacDrbg) {
+    let mut rng = HmacDrbg::from_seed(seed);
+    let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+    let a = Credentials::provision(&ca, DeviceId::from_label("A"), 0, 3600, &mut rng)
+        .expect("provision A");
+    let b = Credentials::provision(&ca, DeviceId::from_label("B"), 0, 3600, &mut rng)
+        .expect("provision B");
+    (a, b, rng)
+}
+
+/// The whole handshake, counted at the group-operation level: however
+/// the secrets vary, the constant-schedule add/double counts must not.
+#[test]
+fn handshake_ct_schedule_is_seed_independent() {
+    let mut schedules = Vec::new();
+    for seed in [0x1001u64, 0x2002, 0x3003, 0x4004] {
+        let (a, b, mut rng) = setup(seed);
+        let config = StsConfig::default();
+        let (outcome, counts) = ops::measure(|| establish(&a, &b, &config, &mut rng));
+        let outcome = outcome.expect("handshake");
+        assert_eq!(outcome.initiator_key, outcome.responder_key);
+        schedules.push((counts.ct_adds, counts.ct_doubles));
+    }
+    let first = schedules[0];
+    assert!(
+        first.0 > 0 && first.1 > 0,
+        "handshake never touched the ct paths: {schedules:?}"
+    );
+    assert!(
+        schedules.iter().all(|s| *s == first),
+        "ct schedule varies with the handshake secrets: {schedules:?}"
+    );
+}
+
+/// ECDH at field-multiplication granularity: the scalar ladder and the
+/// final affine conversion must cost the same muls/squares for every
+/// private key.
+#[test]
+fn ecdh_field_schedule_is_key_independent() {
+    let mut rng = HmacDrbg::from_seed(0xECD4);
+    let mut schedules = Vec::new();
+    for _ in 0..4 {
+        let private = Scalar::random(&mut rng);
+        let peer = mul_generator_ct(&Scalar::random(&mut rng));
+        let (shared, counts) = fe_ops::measure(|| ecq_p256::ecdh::shared_secret(&private, &peer));
+        shared.expect("ecdh");
+        schedules.push((counts.muls, counts.squares));
+    }
+    let first = schedules[0];
+    assert!(
+        first.0 > 0 && first.1 > 0,
+        "no field ops counted: {schedules:?}"
+    );
+    assert!(
+        schedules.iter().all(|s| *s == first),
+        "ECDH field schedule varies with the private key: {schedules:?}"
+    );
+}
+
+/// Scalar inversion (the s-computation path in ECDSA signing) uses a
+/// fixed addition chain: identical scalar-mul/square counts for every
+/// input.
+#[test]
+fn scalar_inversion_schedule_is_value_independent() {
+    let mut rng = HmacDrbg::from_seed(0x15C4);
+    let mut schedules = Vec::new();
+    for _ in 0..4 {
+        let k = Scalar::random(&mut rng);
+        let (inv, counts) = scalar_ops::measure(|| k.invert());
+        assert!(!inv.is_zero());
+        schedules.push((counts.muls, counts.squares));
+    }
+    let first = schedules[0];
+    assert!(
+        first.0 > 0 && first.1 > 0,
+        "no scalar ops counted: {schedules:?}"
+    );
+    assert!(
+        schedules.iter().all(|s| *s == first),
+        "scalar inversion schedule varies with the input: {schedules:?}"
+    );
+}

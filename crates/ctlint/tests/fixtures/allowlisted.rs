@@ -1,0 +1,11 @@
+//! Fixture: a finding that `fixtures/allow.toml` suppresses.
+//! Never compiled — fed to the analyzer by `tests/golden.rs`.
+
+pub fn mul_vartime(s: &Scalar) -> Point {
+    table_walk(s)
+}
+
+pub fn verify(sig: &Scalar, message: &[u8]) -> bool {
+    let point = mul_vartime(sig);
+    point.matches(message)
+}

@@ -1,0 +1,24 @@
+//! Fixture: constant-time idiom that must produce zero findings.
+//! Never compiled — fed to the analyzer by `tests/golden.rs`.
+
+// Secret context, but every operation is schedule-silent: ct scalar
+// mul, ct conditional select, ct equality.
+pub fn derive(secret: &Scalar, peer: &Point) -> [u8; 32] {
+    let shared = peer.mul_ct(secret);
+    let bytes = shared.x_bytes();
+    let mask = ct_select(&bytes, &ZERO, shared.infinity_flag());
+    mask
+}
+
+pub fn tags_match(expected: &SessionKey, received: &[u8; 16]) -> bool {
+    ecq_crypto::ct::eq(expected.as_bytes(), received)
+}
+
+// Public-input code may branch and index freely: nothing here is
+// tainted, so the analyzer stays quiet.
+pub fn route(table: &[u8], packet_len: usize) -> u8 {
+    if packet_len > table.len() {
+        return 0;
+    }
+    table[packet_len]
+}

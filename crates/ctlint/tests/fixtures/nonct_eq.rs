@@ -1,0 +1,6 @@
+//! Fixture: non-constant-time equality on secret data.
+//! Never compiled — fed to the analyzer by `tests/golden.rs`.
+
+pub fn tags_match(expected: &SessionKey, received: &[u8]) -> bool {
+    expected.as_bytes() == received
+}

@@ -1,0 +1,22 @@
+//! Fixture: secret-dependent control flow and indexing.
+//! Never compiled — fed to the analyzer by `tests/golden.rs`.
+
+pub fn process(key: &Scalar, table: &[u8]) -> u8 {
+    if key.is_zero() {
+        return 0;
+    }
+    let mut acc = 0u8;
+    while key.bit(acc as usize) {
+        acc += 1;
+    }
+    table[key.low_byte() as usize]
+}
+
+// A `// ct-secret` let annotation taints a local binding.
+pub fn annotated(input: u64) -> u64 {
+    let nonce = expand(input); // ct-secret
+    match nonce {
+        0 => 1,
+        _ => 0,
+    }
+}

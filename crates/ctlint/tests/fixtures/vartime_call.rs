@@ -1,0 +1,22 @@
+//! Fixture: a variable-time call reachable from a secret context.
+//! Never compiled — fed to the analyzer by `tests/golden.rs`.
+
+pub fn mul_vartime(s: &Scalar) -> Point {
+    table_walk(s)
+}
+
+// Direct: a marker-typed parameter makes `derive` a secret context,
+// and it calls into the vartime family.
+pub fn derive(secret: &Scalar) -> Point {
+    mul_vartime(secret)
+}
+
+// Transitive: `helper` has no tainted bindings of its own, but it is
+// reachable from `derive_indirect`'s secret context.
+pub fn derive_indirect(secret: &Scalar) -> Point {
+    helper()
+}
+
+fn helper() -> Point {
+    mul_vartime(&Scalar::one())
+}

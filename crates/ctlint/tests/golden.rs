@@ -1,0 +1,130 @@
+//! Golden-fixture tests: each finding class must be detected at the
+//! expected file/line anchors, the clean fixture must stay silent, and
+//! the allowlist must suppress (and report staleness) exactly as
+//! documented.
+
+use ecq_lint::allowlist;
+use ecq_lint::index::Index;
+use ecq_lint::taint::{analyze, Class, Config, Finding};
+
+/// Indexes a single fixture file (in isolation, so call-graph edges
+/// never cross fixtures) and runs the analyzer over it.
+fn findings_for(fixture: &str) -> Vec<Finding> {
+    let path = format!("{}/tests/fixtures/{fixture}", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let mut ix = Index::default();
+    ix.add_file(fixture, &src);
+    analyze(&ix, &Config::default())
+}
+
+fn anchors(findings: &[Finding]) -> Vec<(Class, u32, &str)> {
+    findings
+        .iter()
+        .map(|f| (f.class, f.line, f.ident.as_str()))
+        .collect()
+}
+
+#[test]
+fn vartime_call_fixture() {
+    let found = findings_for("vartime_call.rs");
+    assert_eq!(
+        anchors(&found),
+        vec![
+            // `derive` calls the vartime family directly...
+            (Class::VartimeCall, 11, "mul_vartime"),
+            // ...and `helper` is reachable from `derive_indirect`'s
+            // secret context (transitive taint).
+            (Class::VartimeCall, 21, "mul_vartime"),
+        ],
+        "{found:#?}"
+    );
+    assert_eq!(found[0].context, "derive");
+    assert_eq!(found[1].context, "helper");
+    // `mul_vartime`'s own body is the audited boundary — its call to
+    // `table_walk` (line 5) must not be flagged.
+    assert!(found.iter().all(|f| f.line != 5), "{found:#?}");
+}
+
+#[test]
+fn secret_branch_fixture() {
+    let found = findings_for("secret_branch.rs");
+    assert_eq!(
+        anchors(&found),
+        vec![
+            (Class::SecretBranch, 5, "key"),    // if key.is_zero()
+            (Class::SecretBranch, 9, "key"),    // while key.bit(..)
+            (Class::SecretBranch, 12, "key"),   // table[key.low_byte()..]
+            (Class::SecretBranch, 18, "nonce"), // match on ct-secret let
+        ],
+        "{found:#?}"
+    );
+}
+
+#[test]
+fn nonct_eq_fixture() {
+    let found = findings_for("nonct_eq.rs");
+    assert_eq!(
+        anchors(&found),
+        vec![(Class::NonCtEq, 5, "expected")],
+        "{found:#?}"
+    );
+    assert_eq!(found[0].context, "tags_match");
+}
+
+#[test]
+fn missing_zeroize_fixture() {
+    let found = findings_for("missing_zeroize.rs");
+    assert_eq!(
+        anchors(&found),
+        vec![
+            // Marker-typed field, no Drop/Zeroize anywhere.
+            (Class::MissingZeroize, 5, "private"),
+            // `// ct-secret` field annotation on a plain type.
+            (Class::MissingZeroize, 11, "premaster"),
+        ],
+        "{found:#?}"
+    );
+    assert_eq!(found[0].context, "LeakyHandle");
+    assert_eq!(found[1].context, "Draft");
+    // `Guarded` (own Drop impl) and `Wrapped` (self-wiping Zeroizing
+    // field) must both pass.
+    assert!(
+        found
+            .iter()
+            .all(|f| f.context != "Guarded" && f.context != "Wrapped"),
+        "{found:#?}"
+    );
+}
+
+#[test]
+fn clean_fixture_is_silent() {
+    let found = findings_for("clean.rs");
+    assert!(found.is_empty(), "{found:#?}");
+}
+
+#[test]
+fn allowlist_suppresses_and_reports_stale() {
+    let found = findings_for("allowlisted.rs");
+    assert_eq!(
+        anchors(&found),
+        vec![(Class::VartimeCall, 9, "mul_vartime")],
+        "{found:#?}"
+    );
+
+    let allow_path = format!("{}/tests/fixtures/allow.toml", env!("CARGO_MANIFEST_DIR"));
+    let (entries, errors) = allowlist::parse(&std::fs::read_to_string(allow_path).unwrap());
+    assert!(errors.is_empty(), "{errors:#?}");
+    assert_eq!(entries.len(), 2);
+
+    let applied = allowlist::apply(found, &entries);
+    assert!(
+        applied.unsuppressed.is_empty(),
+        "{:#?}",
+        applied.unsuppressed
+    );
+    assert_eq!(applied.suppressed.len(), 1);
+    // The second entry names a function the fixture no longer has:
+    // exactly it must surface as stale.
+    assert_eq!(applied.stale.len(), 1);
+    assert_eq!(applied.stale[0].context, "removed_function");
+}

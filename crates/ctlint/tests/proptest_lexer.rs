@@ -1,0 +1,38 @@
+//! Property test: the lexer is a total function — arbitrary bytes
+//! (lossily decoded) and arbitrary strings must never panic it, and
+//! re-lexing its own token text must be stable.
+
+use ecq_lint::lexer::lex;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        let toks = lex(&src);
+        // Line numbers are 1-based and monotone.
+        let mut last = 1u32;
+        for t in &toks {
+            prop_assert!(t.line >= last);
+            last = t.line;
+        }
+    }
+
+    #[test]
+    fn lexer_never_panics_on_utf16_soup(units in proptest::collection::vec(any::<u16>(), 0..256)) {
+        // UTF-16 lossy decoding reaches code points (including
+        // surrogate repair) that byte-lossy decoding cannot.
+        let src = String::from_utf16_lossy(&units);
+        let _ = lex(&src);
+    }
+
+    #[test]
+    fn lexing_is_stable(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let once = lex(&src);
+        let twice = lex(&src);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,38 @@
+//! The CI gate as a test: the real workspace, scanned with the
+//! committed allowlist, must come back clean — zero unsuppressed
+//! findings, zero stale entries, zero allowlist errors. This is the
+//! same check `cargo run -p ecq_lint` and `scripts/verify.sh ctlint`
+//! perform.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_clean_under_committed_allowlist() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let allowlist = root.join("ci/ctlint_allow.toml");
+    assert!(allowlist.exists(), "missing {}", allowlist.display());
+
+    let report = ecq_lint::run(&root, &ecq_lint::taint::Config::default(), Some(&allowlist))
+        .expect("workspace scan");
+
+    assert!(
+        report.files > 50,
+        "suspiciously few files scanned: {}",
+        report.files
+    );
+    assert!(
+        report.is_clean(),
+        "workspace lint not clean:\nunsuppressed: {:#?}\nstale: {:#?}\nerrors: {:#?}",
+        report.unsuppressed,
+        report.stale,
+        report.allowlist_errors
+    );
+    // The allowlist documents audited sites that exist today; if this
+    // count drifts, entries were added or sites were fixed — both are
+    // fine, but the committed file must stay live (no stale entries,
+    // checked above).
+    assert!(
+        !report.suppressed.is_empty(),
+        "allowlist suppressed nothing"
+    );
+}

@@ -32,7 +32,6 @@
 //! assert!(ops[2] > ops[0] && ops[2] > ops[1] && ops[2] > ops[3]);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod accelerator;

@@ -42,7 +42,6 @@
 //! assert!(report.enrollments_per_virtual_sec() > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod coordinator;

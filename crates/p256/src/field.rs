@@ -40,12 +40,13 @@ fn curve_b_mont() -> &'static FieldElement {
     B.get_or_init(|| FieldElement::from_canonical(&U256::from_be_hex(B_HEX)).expect("b < p"))
 }
 
-/// Test-only counters for the field-operation schedule, mirroring
-/// `point::ops`: the constant-time assertions use these to prove the
-/// inversion and square-root chains run a value-independent sequence
-/// of multiplications and squarings.
-#[cfg(test)]
-pub(crate) mod fe_ops {
+/// Counters for the field-operation schedule, mirroring `point::ops`:
+/// the constant-time assertions use these to prove the inversion and
+/// square-root chains run a value-independent sequence of
+/// multiplications and squarings. Compiled for this crate's tests and
+/// under the `schedule-counters` feature for cross-crate checks.
+#[cfg(any(test, feature = "schedule-counters"))]
+pub mod fe_ops {
     use std::cell::Cell;
 
     thread_local! {
@@ -56,13 +57,17 @@ pub(crate) mod fe_ops {
     /// Snapshot of this thread's field-operation counters.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct Counts {
+        /// Multiplications recorded on this thread.
         pub muls: u64,
+        /// Dedicated squarings recorded on this thread.
         pub squares: u64,
     }
 
+    /// Counts one field multiplication on this thread.
     pub fn record_mul() {
         MULS.with(|c| c.set(c.get() + 1));
     }
+    /// Counts one field squaring on this thread.
     pub fn record_square() {
         SQUARES.with(|c| c.set(c.get() + 1));
     }
@@ -201,7 +206,7 @@ impl FieldElement {
 
     /// Multiplication in GF(p).
     pub fn mul(&self, rhs: &Self) -> Self {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         fe_ops::record_mul();
         FieldElement(U256::from_limbs(backend::mont_mul(
             &self.0.limbs(),
@@ -213,7 +218,7 @@ impl FieldElement {
     /// Squaring in GF(p) — a dedicated pass (cross products computed
     /// once and doubled), measurably cheaper than `mul(self, self)`.
     pub fn square(&self) -> Self {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         fe_ops::record_square();
         FieldElement(U256::from_limbs(backend::mont_sqr(
             &self.0.limbs(),

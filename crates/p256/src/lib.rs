@@ -40,7 +40,6 @@
 //! assert_eq!(k_ab, k_ba);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backend;

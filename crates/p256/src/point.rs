@@ -18,9 +18,11 @@
 //!   ECDSA verification, eq. (1) public-key reconstruction, benches and
 //!   attack simulations.
 //!
-//! The `cfg(test)` op-counter (the `ops` module) asserts the ct schedules are
+//! The op-counter (the `ops` module, compiled under `cfg(test)` or the
+//! `schedule-counters` feature) asserts the ct schedules are
 //! scalar-independent; `scripts/verify.sh` runs that suite in release
-//! mode. The remaining caveat is documented in [`crate::ct`]: field
+//! mode, and `ecq_lint`'s companion test re-checks it end-to-end from
+//! `ecq_sts`. The remaining caveat is documented in [`crate::ct`]: field
 //! arithmetic keeps the Montgomery conditional subtraction, so this is
 //! schedule-level, not gate-level, constant time.
 
@@ -35,11 +37,14 @@ pub const GX_HEX: &str = "6b17d1f2e12c4247f8bce6e563a440f277037d812deb33a0f4a139
 /// Generator y-coordinate, big-endian hex.
 pub const GY_HEX: &str = "4fe342e2fe1a7f9b8ee7eb4a7c0f9e162bce33576b315ececbb6406837bf51f5";
 
-/// Test-only group-operation counters behind the constant-schedule
-/// assertions. Thread-local, so parallel tests do not observe each
-/// other's operations.
-#[cfg(test)]
-pub(crate) mod ops {
+/// Group-operation counters behind the constant-schedule assertions.
+/// Thread-local, so parallel tests do not observe each other's
+/// operations. Compiled for this crate's own tests and, under the
+/// `schedule-counters` feature, for cross-crate dynamic checks (the
+/// `ecq_lint` companion test drives full STS handshakes under these
+/// counters and asserts value-independent schedules end-to-end).
+#[cfg(any(test, feature = "schedule-counters"))]
+pub mod ops {
     use std::cell::Cell;
 
     thread_local! {
@@ -52,21 +57,29 @@ pub(crate) mod ops {
     /// Snapshot of this thread's counters.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct Counts {
+        /// Variable-time additions (`add` / `add_affine`).
         pub adds: u64,
+        /// Variable-time doublings (`double`).
         pub doubles: u64,
+        /// Constant-schedule additions (`add_affine_ct`).
         pub ct_adds: u64,
+        /// Constant-schedule doublings (`double_ct`).
         pub ct_doubles: u64,
     }
 
+    /// Counts one variable-time addition on this thread.
     pub fn record_add() {
         ADDS.with(|c| c.set(c.get() + 1));
     }
+    /// Counts one variable-time doubling on this thread.
     pub fn record_double() {
         DOUBLES.with(|c| c.set(c.get() + 1));
     }
+    /// Counts one constant-schedule addition on this thread.
     pub fn record_ct_add() {
         CT_ADDS.with(|c| c.set(c.get() + 1));
     }
+    /// Counts one constant-schedule doubling on this thread.
     pub fn record_ct_double() {
         CT_DOUBLES.with(|c| c.set(c.get() + 1));
     }
@@ -251,7 +264,7 @@ impl JacobianPoint {
     /// Point doubling with `a = −3`
     /// (`M = 3(X−Z²)(X+Z²)`, standard dbl-2001-b shape).
     pub fn double(&self) -> JacobianPoint {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         ops::record_double();
         if self.is_identity() || self.y.is_zero() {
             return Self::identity();
@@ -266,7 +279,7 @@ impl JacobianPoint {
     /// is an odd prime — so the `Y = 0` guard of the vartime path is
     /// unnecessary for valid inputs.
     fn double_ct(&self) -> JacobianPoint {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         ops::record_ct_double();
         self.double_inner()
     }
@@ -292,7 +305,7 @@ impl JacobianPoint {
 
     /// General Jacobian + Jacobian addition.
     pub fn add(&self, rhs: &JacobianPoint) -> JacobianPoint {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         ops::record_add();
         if self.is_identity() {
             return *rhs;
@@ -329,7 +342,7 @@ impl JacobianPoint {
 
     /// Mixed Jacobian + affine addition (saves a few multiplications).
     pub fn add_affine(&self, rhs: &AffinePoint) -> JacobianPoint {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         ops::record_add();
         if rhs.infinity {
             return *self;
@@ -375,7 +388,7 @@ impl JacobianPoint {
     /// precedence) — see the per-caller audits on [`Self::mul_ct`] and
     /// [`mul_generator_ct_jacobian`].
     fn add_affine_ct(&self, rhs: &AffinePoint) -> JacobianPoint {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         ops::record_ct_add();
         let z1z1 = self.z.square();
         let u2 = rhs.x.mul(&z1z1);
@@ -646,6 +659,7 @@ pub fn batch_normalize(points: &[JacobianPoint]) -> Vec<AffinePoint> {
 /// replaces paid an addition for ~3 of 4 *bits*). Variable-time by
 /// construction; only for public inputs (ECDSA verification, the
 /// eq. (1) ECQV public-key reconstruction, attack tooling).
+// ct-vartime: joint-window Shamir/Straus, schedule depends on both scalars.
 pub fn multi_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoint) -> AffinePoint {
     let av = a.to_canonical();
     let bv = b.to_canonical();

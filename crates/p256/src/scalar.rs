@@ -38,11 +38,12 @@ const N_MINUS_2: U256 = U256::from_limbs([
 /// Compile-time Montgomery parameters for the order field.
 const N_PARAMS: MontParams = MontParams::new(N_LIMBS);
 
-/// Test-only counters for the scalar-operation schedule (see
-/// `field::fe_ops`); the inversion ct test asserts the window chain is
-/// input-independent.
-#[cfg(test)]
-pub(crate) mod scalar_ops {
+/// Counters for the scalar-operation schedule (see `field::fe_ops`);
+/// the inversion ct test asserts the window chain is input-independent.
+/// Compiled for this crate's tests and under the `schedule-counters`
+/// feature for cross-crate checks.
+#[cfg(any(test, feature = "schedule-counters"))]
+pub mod scalar_ops {
     use std::cell::Cell;
 
     thread_local! {
@@ -53,13 +54,17 @@ pub(crate) mod scalar_ops {
     /// Snapshot of this thread's scalar-operation counters.
     #[derive(Clone, Copy, Debug, PartialEq, Eq)]
     pub struct Counts {
+        /// Multiplications recorded on this thread.
         pub muls: u64,
+        /// Dedicated squarings recorded on this thread.
         pub squares: u64,
     }
 
+    /// Counts one scalar multiplication on this thread.
     pub fn record_mul() {
         MULS.with(|c| c.set(c.get() + 1));
     }
+    /// Counts one scalar squaring on this thread.
     pub fn record_square() {
         SQUARES.with(|c| c.set(c.get() + 1));
     }
@@ -224,7 +229,7 @@ impl Scalar {
 
     /// Multiplication mod n.
     pub fn mul(&self, rhs: &Self) -> Self {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         scalar_ops::record_mul();
         Scalar(U256::from_limbs(backend::mont_mul(
             &self.0.limbs(),
@@ -235,7 +240,7 @@ impl Scalar {
 
     /// Squaring mod n (dedicated pass, cheaper than `mul(self, self)`).
     pub fn square(&self) -> Self {
-        #[cfg(test)]
+        #[cfg(any(test, feature = "schedule-counters"))]
         scalar_ops::record_square();
         Scalar(U256::from_limbs(backend::mont_sqr(
             &self.0.limbs(),

@@ -15,7 +15,6 @@
 //!   link abstraction with the in-memory channel implementation,
 //! * [`error`] — the shared error type.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod credentials;

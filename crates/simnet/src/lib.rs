@@ -22,7 +22,6 @@
 //! full handshake message (≤ 245 B) crosses the bus in ~1 ms — "the
 //! CAN-FD transfer time over the physical link was negligible (<1 ms)".
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;

@@ -5,6 +5,7 @@
 #   ./scripts/verify.sh lint     # fmt + clippy + docs       (CI `lint`)
 #   ./scripts/verify.sh test     # build + tests + ct suite  (CI `test`)
 #   ./scripts/verify.sh fleet    # interleaved fleet smoke   (CI `fleet-smoke`)
+#   ./scripts/verify.sh ctlint   # secret-flow analyzer       (CI `ctlint`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,6 +37,18 @@ run_lint() {
   RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 }
 
+run_ctlint() {
+  # The secret-flow static analyzer: zero unsuppressed findings, every
+  # allowlist entry justified and live (stale entries fail). The
+  # crate's own tests re-prove each finding class against the golden
+  # fixtures and drive real handshakes under the schedule counters.
+  echo "==> ecq_lint (secret-flow analyzer, ci/ctlint_allow.toml)"
+  cargo run --release -q -p ecq_lint -- --root . --allowlist ci/ctlint_allow.toml
+
+  echo "==> cargo test -q -p ecq_lint"
+  cargo test -q -p ecq_lint
+}
+
 run_fleet() {
   # The interleaved 1000-device sweep: bit-identical reports across
   # 1/2/8 worker threads, BENCH_fleet.json emitted, and host handshake
@@ -64,8 +77,9 @@ case "$mode" in
   all)
     run_test
     run_lint
+    run_ctlint
     run_fleet
-    echo "OK: build, tests, fmt, clippy, docs, fleet smoke all green"
+    echo "OK: build, tests, fmt, clippy, docs, ctlint, fleet smoke all green"
     ;;
   test)
     run_test
@@ -75,12 +89,16 @@ case "$mode" in
     run_lint
     echo "OK: fmt, clippy, docs green"
     ;;
+  ctlint)
+    run_ctlint
+    echo "OK: secret-flow lint green"
+    ;;
   fleet)
     run_fleet
     echo "OK: fleet smoke green"
     ;;
   *)
-    echo "usage: $0 [all|lint|test|fleet]" >&2
+    echo "usage: $0 [all|lint|test|ctlint|fleet]" >&2
     exit 2
     ;;
 esac
