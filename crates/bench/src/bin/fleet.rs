@@ -19,6 +19,12 @@
 //! baseline is given — fails if host handshake throughput regressed
 //! more than `--gate-pct` percent. Regenerate the committed baseline on
 //! a CI-class runner with `--write-baseline ci/BENCH_fleet_baseline.json`.
+//!
+//! `--scenario <name>` runs one named adversarial scenario from the
+//! shared-bus fault catalog against the BMS charging fleet and reports
+//! the outcome; `--scenario list` prints the catalog, `--scenario all`
+//! runs every entry (exit 1 if any outcome diverges from its paper
+//! prediction).
 
 use ecq_devices::DevicePreset;
 use ecq_fleet::{FleetConfig, FleetCoordinator, FleetReport, SweepOptions, TransportKind};
@@ -37,6 +43,7 @@ struct Args {
     write_baseline: Option<String>,
     gate_pct: f64,
     smoke: bool,
+    scenario: Option<String>,
 }
 
 impl Default for Args {
@@ -53,6 +60,7 @@ impl Default for Args {
             write_baseline: None,
             gate_pct: 20.0,
             smoke: false,
+            scenario: None,
         }
     }
 }
@@ -86,6 +94,7 @@ fn parse_args() -> Result<Args, String> {
                 args.gate_pct = value("--gate-pct")?.parse().map_err(|e| format!("{e}"))?
             }
             "--smoke" => args.smoke = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
             other => {
                 return Err(format!(
                     "unknown flag {other} (see --smoke docs in the source)"
@@ -116,6 +125,7 @@ fn interleaved_run(args: &Args, threads: usize) -> (FleetReport, f64) {
         .interleaved_sweep(&SweepOptions {
             threads,
             transport: TransportKind::Simnet,
+            ..SweepOptions::default()
         })
         .expect("interleaved sweep");
     (fleet.report().clone(), t.elapsed().as_secs_f64())
@@ -259,6 +269,69 @@ fn smoke(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `--scenario`: the adversarial shared-bus fault catalog, reported in
+/// charging-session terms (see `ecq_bms::adversarial`).
+fn scenario_mode(which: &str) -> ExitCode {
+    use ecq_bms::adversarial;
+    use ecq_fleet::scenario::{catalog, Expected};
+    match which {
+        "list" => {
+            println!("adversarial scenarios ({} in catalog):", catalog().len());
+            for s in catalog() {
+                println!("  {:<26} {}", s.name, s.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            let mut failed = false;
+            for s in catalog() {
+                let report = adversarial::run(s.name).expect("catalog name resolves");
+                let predicted =
+                    matches!(s.expected, Expected::Completes | Expected::CompletesSlower);
+                let ok = report.charging_authorized == predicted;
+                println!(
+                    "  {:<8} {}",
+                    if ok { "ok" } else { "DIVERGED" },
+                    adversarial::render(&report)
+                );
+                failed |= !ok;
+            }
+            if failed {
+                eprintln!("scenario outcomes diverged from their predicted results");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "all {} scenarios match their predicted outcomes",
+                catalog().len()
+            );
+            ExitCode::SUCCESS
+        }
+        name => match adversarial::run(name) {
+            Some(report) => {
+                println!("{}", adversarial::render(&report));
+                let c = report.faults;
+                println!(
+                    "  injected: {} dropped, {} corrupted, {} duplicated, {} held back, \
+                     {} delayed, {} replayed, {} storm frames ({} messages lost)",
+                    c.dropped,
+                    c.corrupted,
+                    c.duplicated,
+                    c.held_back,
+                    c.delayed,
+                    c.replayed,
+                    c.storm_frames,
+                    c.messages_lost,
+                );
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown scenario {name:?}; try --scenario list");
+                ExitCode::FAILURE
+            }
+        },
+    }
+}
+
 /// The full human-readable sweep (default mode).
 fn full_run(args: &Args) -> ExitCode {
     let devices = args.devices;
@@ -365,7 +438,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if args.smoke {
+    if let Some(which) = &args.scenario {
+        scenario_mode(which)
+    } else if args.smoke {
         smoke(&args)
     } else {
         full_run(&args)

@@ -122,6 +122,7 @@ pub struct FleetCoordinator {
     gateway: DeviceProfile,
     crl: RevocationList,
     last_deliveries: Vec<DeliveryRecord>,
+    last_frame_logs: Vec<(usize, Vec<ecq_simnet::FrameRecord>)>,
     report: FleetReport,
 }
 
@@ -161,6 +162,7 @@ impl FleetCoordinator {
             gateway: DevicePreset::RaspberryPi4.profile(),
             crl: RevocationList::new(),
             last_deliveries: Vec::new(),
+            last_frame_logs: Vec::new(),
             report,
         }
     }
@@ -414,8 +416,20 @@ impl FleetCoordinator {
             })
             .collect();
 
-        let (results, log) = interleave::run_sweep(work, opts.threads, &opts.transport);
+        let (results, log, bus_traces) = interleave::run_sweep(work, opts);
         self.last_deliveries = log;
+        for trace in &bus_traces {
+            self.report.faults.dropped += trace.counters.dropped;
+            self.report.faults.corrupted += trace.counters.corrupted;
+            self.report.faults.duplicated += trace.counters.duplicated;
+            self.report.faults.held_back += trace.counters.held_back;
+            self.report.faults.delayed += trace.counters.delayed;
+            self.report.faults.replayed += trace.counters.replayed;
+            self.report.faults.storm_frames += trace.counters.storm_frames;
+            self.report.faults.isotp_errors += trace.counters.isotp_errors;
+            self.report.faults.messages_lost += trace.counters.messages_lost;
+        }
+        self.last_frame_logs = bus_traces.into_iter().map(|t| (t.bus, t.frames)).collect();
 
         let mut digest = Sha256::new();
         let mut makespan: VirtualTime = 0;
@@ -432,7 +446,14 @@ impl FleetCoordinator {
             } else if let Some(err) = result.failure {
                 session.failure = Some(FleetError::Protocol(err));
                 first_failure.get_or_insert(FleetError::Protocol(err));
-                digest.update(b"failed");
+                if err == ProtocolError::Timeout {
+                    self.report.timeouts += 1;
+                }
+                // The failure *mode* is part of the determinism
+                // witness: a run that times out where another saw an
+                // authentication failure must not digest equal.
+                digest.update(b"failed:");
+                digest.update(err.to_string().as_bytes());
             } else {
                 session.last_key = Some(result.key.expect("completed sessions carry a key"));
                 digest.update(result.key.expect("checked").as_bytes());
@@ -457,6 +478,15 @@ impl FleetCoordinator {
     /// it is *not* part of the deterministic report).
     pub fn last_deliveries(&self) -> &[DeliveryRecord] {
         &self.last_deliveries
+    }
+
+    /// The per-bus frame-schedule logs of the last
+    /// [`Self::interleaved_sweep`] over a shared-bus transport, sorted
+    /// by bus id. Unlike the delivery log, the frame schedule *is*
+    /// deterministic — it is pinned line-by-line by the golden
+    /// shared-bus fixture.
+    pub fn last_frame_logs(&self) -> &[(usize, Vec<ecq_simnet::FrameRecord>)] {
+        &self.last_frame_logs
     }
 
     /// Revokes the certificate of roster device `index` on the

@@ -1,5 +1,7 @@
 //! Message-granularity handshake sweeps: every wire message is its own
-//! scheduler event, and device populations shard across host threads.
+//! scheduler event, device populations shard across host threads, and
+//! groups of sessions can share one arbitrated CAN-FD bus under a
+//! deterministic fault plan.
 //!
 //! The atomic sweep ([`crate::FleetCoordinator::handshake_sweep`])
 //! completes a whole handshake inside one scheduler event — nothing can
@@ -8,30 +10,51 @@
 //! [`ecq_proto::Endpoint::step`] runs when its message *arrives*, its
 //! compute time is integrated from the primitive-operation trace it
 //! recorded during that step (against the board's `ecq_devices` cost
-//! table), and the reply goes back to the transport, which decides the
-//! next delivery time. A thousand devices' handshakes genuinely
-//! interleave on the virtual timeline, at message granularity.
+//! table), and the reply goes back to the link, which decides the next
+//! delivery time. A thousand devices' handshakes genuinely interleave
+//! on the virtual timeline, at message granularity.
 //!
 //! # Parallelism / determinism contract
 //!
-//! Each pair owns a private point-to-point link (the paper's two-ECU
-//! prototype), so sessions share no simulation state; a session's
-//! entire result is a pure function of `(config, seed, session index)`.
-//! The sweep deals sessions round-robin across the worker threads
-//! (balanced shards: the roster's preset rotation gives every worker
-//! the same board mix), each worker interleaving its share under its
-//! own virtual clock, and results aggregate in session-index order —
-//! so a `(config, seed)` report is bit-identical for any worker count.
+//! With private links ([`TransportKind::Channel`] /
+//! [`TransportKind::Simnet`]) sessions share no simulation state, so a
+//! session's entire result is a pure function of
+//! `(config, seed, session index)` and any shard layout reproduces the
+//! same report.
+//!
+//! [`TransportKind::SharedBus`] couples `group` consecutive sessions on
+//! one arbitrated bus, so a bus — not a session — becomes the unit of
+//! independence. Three rules keep the `(config, seed)` report
+//! bit-identical for any worker count even then:
+//!
+//! 1. **Shard by bus, never by pair.** `run_sweep` assigns whole bus
+//!    groups to workers; a worker *hard-errors* if it receives a
+//!    bus with members missing (a split bus would change arbitration).
+//! 2. **Lane-ordered events.** Each worker's scheduler orders same-time
+//!    events by a global lane key (session index; buses order after all
+//!    sessions), not by insertion order, so the pop order is a function
+//!    of the virtual timeline alone — not of which sessions happen to
+//!    be co-resident in the worker.
+//! 3. **Pure fault decisions.** Every random fault choice is a
+//!    splitmix64 hash of `(fault seed, bus id, sequence number)` (see
+//!    [`ecq_simnet::fault`]), never a draw from mutable RNG state.
+//!
 //! Session state (credentials, RNG seeds) is prepared serially and
 //! *moved* into the workers, so the timed sweep region clones no
 //! certificates or keys.
 
-use crate::scheduler::{micros_from_ms, EventScheduler, VirtualTime};
-use ecq_crypto::HmacDrbg;
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::rc::Rc;
+
+use crate::scheduler::{micros_from_ms, VirtualTime};
+use ecq_cert::CertError;
+use ecq_crypto::{ct, HmacDrbg};
 use ecq_devices::{DevicePreset, DeviceProfile};
 use ecq_proto::transport::{ChannelTransport, Transport};
 use ecq_proto::{Credentials, Endpoint, OpTrace, ProtocolError, Role, SessionKey, StepOutput};
-use ecq_simnet::CanLink;
+use ecq_simnet::{ms_to_ns, CanLink, FaultCounters, FaultPlan, FaultSpec, FrameRecord, SharedBus};
 use ecq_sts::{StsConfig, StsInitiator, StsResponder, StsVariant};
 
 /// Which link implementation carries the handshake messages.
@@ -42,9 +65,34 @@ pub enum TransportKind {
         /// Per-message delivery latency in virtual microseconds.
         latency_us: u64,
     },
-    /// The simulated CAN-FD/ISO-TP stack (`ecq_simnet::CanLink`), with
-    /// per-frame driver overhead from the pair's board cost tables.
+    /// The simulated CAN-FD/ISO-TP stack (`ecq_simnet::CanLink`), one
+    /// private bus per pair, with per-frame driver overhead from the
+    /// pair's board cost tables.
     Simnet,
+    /// One arbitrated CAN-FD bus per `group` consecutive sessions
+    /// (`ecq_simnet::SharedBus`): their frames compete for the wire and
+    /// the sweep's [`FaultSpec`] applies. `group = 1` degenerates to a
+    /// private (but fault-injectable) bus per pair.
+    SharedBus {
+        /// Sessions per bus; session `i` rides bus `i / group`.
+        group: usize,
+    },
+}
+
+/// Revocation arriving *during* the sweep: from `at_us`, session
+/// `session`'s peer is considered revoked, but endpoints only learn of
+/// it once the CRL propagates — `propagation_us` is the stale-CRL
+/// acceptance window during which the revoked peer is still honored
+/// (the paper's §IV-C lifecycle caveat, made measurable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RevocationSpec {
+    /// Global session index whose handshake the revocation targets.
+    pub session: usize,
+    /// Virtual time (µs) the certificate is revoked at the CA.
+    pub at_us: u64,
+    /// CRL propagation delay (µs): deliveries to the targeted session
+    /// strictly before `at_us + propagation_us` still succeed.
+    pub propagation_us: u64,
 }
 
 /// Options for an interleaved sweep.
@@ -55,14 +103,23 @@ pub struct SweepOptions {
     pub threads: usize,
     /// Link implementation for every pair.
     pub transport: TransportKind,
+    /// Fault schedule applied to shared buses (ignored by private
+    /// links; [`FaultSpec::none`] injects nothing). The spec's
+    /// `deadline_us` bounds the sweep: sessions unfinished at the
+    /// deadline fail closed with [`ProtocolError::Timeout`].
+    pub faults: FaultSpec,
+    /// Optional mid-sweep revocation with a stale-CRL window.
+    pub revocation: Option<RevocationSpec>,
 }
 
 impl Default for SweepOptions {
-    /// One worker over the simnet transport.
+    /// One worker over the simnet transport, no faults.
     fn default() -> Self {
         SweepOptions {
             threads: 1,
             transport: TransportKind::Simnet,
+            faults: FaultSpec::none(),
+            revocation: None,
         }
     }
 }
@@ -107,17 +164,63 @@ pub(crate) struct SessionResult {
     pub frames: u64,
 }
 
+impl SessionResult {
+    fn empty() -> Self {
+        SessionResult {
+            key: None,
+            failure: None,
+            end_us: 0,
+            messages: 0,
+            wire_bytes: 0,
+            frames: 0,
+        }
+    }
+}
+
+/// Fault-engine evidence from one shared bus: aggregate counters for
+/// the report and the full frame-schedule log for fixtures/forensics.
+pub(crate) struct BusTrace {
+    pub bus: usize,
+    pub counters: FaultCounters,
+    pub frames: Vec<FrameRecord>,
+}
+
+/// The per-worker configuration, identical across workers so a session
+/// computes the same result wherever it lands.
+#[derive(Clone, Copy)]
+pub(crate) struct WorkerConfig {
+    pub transport: TransportKind,
+    pub faults: FaultSpec,
+    pub revocation: Option<RevocationSpec>,
+    /// Total sessions in the sweep (bounds the width of the last bus).
+    pub total: usize,
+}
+
+/// The wire under one session: private (owned transport) or a slot on
+/// a shared bus co-owned by the worker's bus group.
+enum Link {
+    Private(Box<dyn Transport>),
+    Shared {
+        bus: Rc<RefCell<SharedBus>>,
+        bus_id: usize,
+        slot: usize,
+    },
+}
+
 /// A live session inside one worker's event loop.
 struct Live {
-    /// Global session index (for the delivery log; results aggregate
-    /// by slot order).
+    /// Global session index (for the delivery log and event lanes;
+    /// results aggregate by slot order).
     index: usize,
     initiator: StsInitiator,
     responder: StsResponder,
-    transport: Box<dyn Transport>,
+    link: Link,
     profiles: [DeviceProfile; 2],
     cursors: [usize; 2],
     result: SessionResult,
+    /// Last virtual time anything happened to this session (timeout
+    /// stamping when no deadline is set).
+    last_event_us: VirtualTime,
     done: bool,
 }
 
@@ -126,6 +229,74 @@ enum Event {
     Kickoff { slot: usize },
     /// A wire message arrives at one endpoint.
     Deliver { slot: usize, to: Role },
+    /// A shared bus may have frames to arbitrate/complete.
+    BusAdvance { bus: usize },
+}
+
+/// Event lanes order same-time events globally: session events ride
+/// their *global* session index, bus events ride `LANE_BUS + bus id`
+/// so every same-time endpoint step (and its sends) lands before the
+/// bus arbitrates — the pop order is shard-layout-independent.
+const LANE_BUS: u64 = 1 << 32;
+
+struct LaneEntry {
+    at: VirtualTime,
+    lane: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for LaneEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.lane, self.seq) == (other.at, other.lane, other.seq)
+    }
+}
+impl Eq for LaneEntry {}
+impl PartialOrd for LaneEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for LaneEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.lane, self.seq).cmp(&(other.at, other.lane, other.seq))
+    }
+}
+
+/// A deterministic min-heap over `(at, lane, seq)`: time first, then
+/// the global lane, then insertion order as the final tiebreak.
+struct LaneScheduler {
+    queue: BinaryHeap<Reverse<LaneEntry>>,
+    now: VirtualTime,
+    seq: u64,
+}
+
+impl LaneScheduler {
+    fn new() -> Self {
+        LaneScheduler {
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at `at` (clamped to now) on `lane`.
+    fn schedule(&mut self, at: VirtualTime, lane: u64, event: Event) {
+        let at = at.max(self.now);
+        self.queue.push(Reverse(LaneEntry {
+            at,
+            lane,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    fn next(&mut self) -> Option<(VirtualTime, Event)> {
+        let Reverse(entry) = self.queue.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
 }
 
 /// Integrates the primitives an endpoint recorded since the last step.
@@ -169,38 +340,90 @@ impl Live {
         Ok((out, now + micros_from_ms(cost)))
     }
 
+    fn recv_message(&mut self, to: Role, now: VirtualTime) -> Option<ecq_proto::Message> {
+        match &mut self.link {
+            Link::Private(t) => t.recv(to, now),
+            Link::Shared { bus, slot, .. } => bus.borrow_mut().recv(*slot, to, now),
+        }
+    }
+
+    fn capture_stats(&mut self) {
+        match &self.link {
+            Link::Private(t) => {
+                self.result.messages = t.messages_carried();
+                self.result.wire_bytes = t.bytes_carried();
+                self.result.frames = t.frames_carried();
+            }
+            Link::Shared { bus, slot, .. } => {
+                let s = bus.borrow().slot_stats(*slot);
+                self.result.messages = s.messages;
+                self.result.wire_bytes = s.bytes;
+                self.result.frames = s.frames;
+            }
+        }
+    }
+
+    /// Closes an established session. Both sides claiming establishment
+    /// is *not* trusted: the keys are compared (in constant time) and a
+    /// disagreement surfaces as [`ProtocolError::KeyMismatch`] — a
+    /// faulted wire must never yield a silently mismatched session.
     fn finalize(&mut self, end: VirtualTime) {
-        debug_assert_eq!(
-            self.initiator.session_key().ok().map(|k| *k.as_bytes()),
-            self.responder.session_key().ok().map(|k| *k.as_bytes()),
-            "both sides must agree on the session key"
-        );
-        self.result.key = self.initiator.session_key().ok();
+        let key_a = self.initiator.session_key().ok();
+        let key_b = self.responder.session_key().ok();
+        match (key_a, key_b) {
+            (Some(a), Some(b)) if ct::eq(a.as_bytes(), b.as_bytes()) => {
+                self.result.key = Some(a);
+            }
+            _ => self.result.failure = Some(ProtocolError::KeyMismatch),
+        }
         self.result.end_us = end;
-        self.result.messages = self.transport.messages_carried();
-        self.result.wire_bytes = self.transport.bytes_carried();
-        self.result.frames = self.transport.frames_carried();
+        self.capture_stats();
         self.done = true;
     }
 
     fn fail(&mut self, err: ProtocolError, at: VirtualTime) {
         self.result.failure = Some(err);
         self.result.end_us = at;
-        self.result.messages = self.transport.messages_carried();
-        self.result.wire_bytes = self.transport.bytes_carried();
-        self.result.frames = self.transport.frames_carried();
+        self.capture_stats();
         self.done = true;
     }
 }
 
-fn make_transport(kind: &TransportKind, work: &SessionWork) -> Box<dyn Transport> {
-    match kind {
-        TransportKind::Channel { latency_us } => Box::new(ChannelTransport::new(*latency_us)),
-        TransportKind::Simnet => Box::new(CanLink::for_pair(
-            (work.index & 0xFFFF) as u16,
-            &work.preset_a.profile(),
-            &work.preset_b.profile(),
-        )),
+/// Sends `msg` over the session's link and schedules the follow-up
+/// event: the peer's delivery (private links decide arrival themselves)
+/// or a bus-advance (shared links arbitrate first).
+fn dispatch_send(
+    session: &mut Live,
+    slot: usize,
+    from: Role,
+    msg: ecq_proto::Message,
+    done_at: VirtualTime,
+    scheduler: &mut LaneScheduler,
+) {
+    match &mut session.link {
+        Link::Private(t) => {
+            let arrival = t.send(from, msg, done_at);
+            scheduler.schedule(
+                arrival,
+                session.index as u64,
+                Event::Deliver {
+                    slot,
+                    to: from.peer(),
+                },
+            );
+        }
+        Link::Shared {
+            bus,
+            bus_id,
+            slot: bus_slot,
+        } => {
+            bus.borrow_mut().send(*bus_slot, from, msg, done_at);
+            scheduler.schedule(
+                done_at,
+                LANE_BUS + *bus_id as u64,
+                Event::BusAdvance { bus: *bus_id },
+            );
+        }
     }
 }
 
@@ -209,20 +432,71 @@ fn make_transport(kind: &TransportKind, work: &SessionWork) -> Box<dyn Transport
 /// prepared credentials move straight into the endpoints — the sweep
 /// performs no per-session certificate/key cloning inside the timed
 /// region. Returns the per-session results in the order `work` was
-/// given, plus this worker's delivery log in scheduler pop order.
-fn run_worker(
+/// given, plus this worker's delivery log in scheduler pop order and
+/// the traces of the buses it owned.
+///
+/// # Panics
+///
+/// Under [`TransportKind::SharedBus`], panics if `work` contains a bus
+/// group with members missing: a bus split across sweep shards would
+/// arbitrate different traffic per layout and break the determinism
+/// contract, so it is rejected loudly rather than simulated wrong.
+pub(crate) fn run_worker(
     work: Vec<SessionWork>,
-    transport: TransportKind,
-) -> (Vec<SessionResult>, Vec<DeliveryRecord>) {
+    cfg: WorkerConfig,
+) -> (Vec<SessionResult>, Vec<DeliveryRecord>, Vec<BusTrace>) {
+    if let TransportKind::SharedBus { group } = cfg.transport {
+        assert_complete_buses(&work, group.max(1), cfg.total);
+    }
+
     let mut live: Vec<Option<Live>> = Vec::with_capacity(work.len());
     let mut log: Vec<DeliveryRecord> = Vec::new();
-    let mut scheduler: EventScheduler<Event> = EventScheduler::new();
+    let mut scheduler = LaneScheduler::new();
+    // Buses this worker owns, and (bus, bus slot) → local `live` slot.
+    let mut buses: BTreeMap<usize, Rc<RefCell<SharedBus>>> = BTreeMap::new();
+    let mut slot_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+
     for (slot, w) in work.into_iter().enumerate() {
+        // Register the bus slot for *every* session — including denied
+        // ones — so slot numbering (and thus arbitration priority)
+        // matches the global layout `bus slot = index % group`.
+        let shared = if let TransportKind::SharedBus { group } = cfg.transport {
+            let group = group.max(1);
+            let bus_id = w.index / group;
+            let bus = buses
+                .entry(bus_id)
+                .or_insert_with(|| {
+                    Rc::new(RefCell::new(SharedBus::new(FaultPlan::new(
+                        cfg.faults,
+                        bus_id as u64,
+                    ))))
+                })
+                .clone();
+            let bus_slot = bus.borrow_mut().add_slot(
+                (w.index & 0xFFFF) as u16,
+                [
+                    ms_to_ns(w.preset_a.profile().costs.hash_block_ms),
+                    ms_to_ns(w.preset_b.profile().costs.hash_block_ms),
+                ],
+            );
+            debug_assert_eq!(bus_slot, w.index % group, "bus slots follow session order");
+            slot_of.insert((bus_id, bus_slot), slot);
+            Some((bus, bus_id, bus_slot))
+        } else {
+            None
+        };
         if w.denied {
             live.push(None);
             continue;
         }
-        let link = make_transport(&transport, &w);
+        let link = match shared {
+            Some((bus, bus_id, bus_slot)) => Link::Shared {
+                bus,
+                bus_id,
+                slot: bus_slot,
+            },
+            None => Link::Private(make_transport(&cfg.transport, &w)),
+        };
         // Mirror `ecq_sts::establish`: one stream per role, initiator
         // first, derived from the pair's wire seed.
         let mut rng = HmacDrbg::new(&w.wire_seed, b"fleet-pair-wire");
@@ -232,40 +506,33 @@ fn run_worker(
             now: w.now,
             variant: w.variant,
         };
+        let lane = w.index as u64;
         live.push(Some(Live {
             index: w.index,
             initiator: StsInitiator::new(w.creds_a, config, &mut rng_a),
             responder: StsResponder::new(w.creds_b, config, &mut rng_b),
-            transport: link,
+            link,
             profiles: [w.preset_a.profile(), w.preset_b.profile()],
             cursors: [0, 0],
-            result: SessionResult {
-                key: None,
-                failure: None,
-                end_us: 0,
-                messages: 0,
-                wire_bytes: 0,
-                frames: 0,
-            },
+            result: SessionResult::empty(),
+            last_event_us: 0,
             done: false,
         }));
-        scheduler.schedule_at(0, Event::Kickoff { slot });
+        scheduler.schedule(0, lane, Event::Kickoff { slot });
     }
 
-    while let Some((now, event)) = scheduler.next_event() {
+    let deadline = cfg.faults.deadline_us;
+    while let Some((now, event)) = scheduler.next() {
+        if now > deadline {
+            break;
+        }
         match event {
             Event::Kickoff { slot } => {
                 let session = live[slot].as_mut().expect("kickoff only for live slots");
+                session.last_event_us = now;
                 match session.step(Role::Initiator, None, now) {
                     Ok((StepOutput::Send(msg), done_at)) => {
-                        let arrival = session.transport.send(Role::Initiator, msg, done_at);
-                        scheduler.schedule_at(
-                            arrival,
-                            Event::Deliver {
-                                slot,
-                                to: Role::Responder,
-                            },
-                        );
+                        dispatch_send(session, slot, Role::Initiator, msg, done_at, &mut scheduler);
                     }
                     Ok((_, done_at)) => session.fail(ProtocolError::Stalled, done_at),
                     Err(e) => session.fail(e, now),
@@ -276,10 +543,31 @@ fn run_worker(
                 if session.done {
                     continue;
                 }
-                let msg = session
-                    .transport
-                    .recv(to, now)
-                    .expect("scheduled delivery is due");
+                session.last_event_us = now;
+                // Revocation lifecycle: once the CRL has propagated,
+                // the targeted session refuses its peer — whatever the
+                // handshake state. Deliveries inside the stale-CRL
+                // window still succeed (the measurable exposure).
+                if let Some(rv) = cfg.revocation {
+                    if session.index == rv.session
+                        && now >= rv.at_us.saturating_add(rv.propagation_us)
+                    {
+                        let _ = session.recv_message(to, now);
+                        session.fail(ProtocolError::Cert(CertError::Revoked), now);
+                        continue;
+                    }
+                }
+                let Some(msg) = session.recv_message(to, now) else {
+                    // A shared-bus delivery can evaporate (the message
+                    // was lost to faults after its sibling scheduled
+                    // this event, or a replay already consumed it); a
+                    // private link's schedule is exact.
+                    debug_assert!(
+                        matches!(session.link, Link::Shared { .. }),
+                        "private delivery must be due"
+                    );
+                    continue;
+                };
                 log.push(DeliveryRecord {
                     session: session.index,
                     step: msg.step,
@@ -287,14 +575,7 @@ fn run_worker(
                 });
                 match session.step(to, Some(&msg), now) {
                     Ok((StepOutput::Send(reply), done_at)) => {
-                        let arrival = session.transport.send(to, reply, done_at);
-                        scheduler.schedule_at(
-                            arrival,
-                            Event::Deliver {
-                                slot,
-                                to: to.peer(),
-                            },
-                        );
+                        dispatch_send(session, slot, to, reply, done_at, &mut scheduler);
                         // A responder that just sent B2 is established;
                         // the session finishes when the initiator
                         // consumes it.
@@ -313,6 +594,43 @@ fn run_worker(
                     Err(e) => session.fail(e, now),
                 }
             }
+            Event::BusAdvance { bus } => {
+                let rc = buses
+                    .get(&bus)
+                    .expect("advance only for owned buses")
+                    .clone();
+                let due = rc.borrow_mut().process(now);
+                for d in due {
+                    let &slot = slot_of
+                        .get(&(bus, d.slot))
+                        .expect("bus delivery for a registered slot");
+                    // Denied sessions never transmit, so nothing is
+                    // ever due for them; route on the session's lane.
+                    let lane = live[slot].as_ref().map_or(0, |l| l.index as u64);
+                    scheduler.schedule(d.at_us, lane, Event::Deliver { slot, to: d.to });
+                }
+                // `next_activity_us` is strictly beyond `now` once
+                // `process(now)` ran, so this re-arm terminates;
+                // redundant advances are idempotent.
+                let next = rc.borrow().next_activity_us();
+                if let Some(at) = next {
+                    scheduler.schedule(at, LANE_BUS + bus as u64, Event::BusAdvance { bus });
+                }
+            }
+        }
+    }
+
+    // Fail-closed sweep boundary: anything unfinished at the deadline
+    // (lost frames, withheld messages, storms that never relented)
+    // times out — it must never linger as a half-open session.
+    for session in live.iter_mut().flatten() {
+        if !session.done {
+            let at = if deadline < u64::MAX {
+                deadline
+            } else {
+                session.last_event_us
+            };
+            session.fail(ProtocolError::Timeout, at);
         }
     }
 
@@ -320,67 +638,249 @@ fn run_worker(
         .into_iter()
         .map(|slot| match slot {
             Some(l) => l.result,
-            None => SessionResult {
-                key: None,
-                failure: None, // the coordinator records the CRL denial
-                end_us: 0,
-                messages: 0,
-                wire_bytes: 0,
-                frames: 0,
-            },
+            // The coordinator records the CRL denial itself.
+            None => SessionResult::empty(),
         })
         .collect();
-    (results, log)
+    let traces = buses
+        .into_iter()
+        .map(|(bus, rc)| {
+            let b = rc.borrow();
+            BusTrace {
+                bus,
+                counters: b.counters(),
+                frames: b.frame_log().to_vec(),
+            }
+        })
+        .collect();
+    (results, log, traces)
+}
+
+/// Hard-errors unless every bus group in `work` is complete: members
+/// of bus `b` are exactly the global indices `b·group .. min((b+1)·group,
+/// total)`, all present.
+fn assert_complete_buses(work: &[SessionWork], group: usize, total: usize) {
+    let mut members: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for w in work {
+        members.entry(w.index / group).or_default().push(w.index);
+    }
+    for (bus, mut present) in members {
+        present.sort_unstable();
+        let start = bus * group;
+        let expected: Vec<usize> = (start..(start + group).min(total)).collect();
+        assert!(
+            present == expected,
+            "bus split across sweep shards: bus {bus} needs sessions {expected:?} \
+             in one worker but got {present:?} (shard whole buses, not pairs)"
+        );
+    }
+}
+
+fn make_transport(kind: &TransportKind, work: &SessionWork) -> Box<dyn Transport> {
+    match kind {
+        TransportKind::Channel { latency_us } => Box::new(ChannelTransport::new(*latency_us)),
+        TransportKind::Simnet => Box::new(CanLink::for_pair(
+            (work.index & 0xFFFF) as u16,
+            &work.preset_a.profile(),
+            &work.preset_b.profile(),
+        )),
+        TransportKind::SharedBus { .. } => {
+            unreachable!("shared-bus sessions ride Link::Shared, not a private transport")
+        }
+    }
 }
 
 /// Shards `work` across `threads` workers and returns results in
 /// session-index order regardless of the thread count.
 ///
-/// Sessions are dealt round-robin (worker `t` takes indices `t`,
-/// `t + threads`, …) rather than in contiguous chunks: device presets
-/// rotate through the roster, so striding gives every worker the same
-/// preset mix — and therefore the same compute load — instead of
-/// leaving the last chunk short. Sessions are independent pure
-/// functions of `(config, seed, index)` (see the module docs), so any
+/// Private-link sessions are dealt round-robin (worker `t` takes
+/// indices `t`, `t + threads`, …) rather than in contiguous chunks:
+/// device presets rotate through the roster, so striding gives every
+/// worker the same preset mix — and therefore the same compute load —
+/// instead of leaving the last chunk short. Shared-bus sweeps deal
+/// whole *bus groups* round-robin instead (worker `t` takes buses `t`,
+/// `t + threads`, …): the bus is the unit of independence, so splitting
+/// one across workers is rejected by [`run_worker`]. Either way any
 /// partition produces the identical report; only the host wall-clock
 /// changes.
 pub(crate) fn run_sweep(
     work: Vec<SessionWork>,
-    threads: usize,
-    transport: &TransportKind,
-) -> (Vec<SessionResult>, Vec<DeliveryRecord>) {
+    opts: &SweepOptions,
+) -> (Vec<SessionResult>, Vec<DeliveryRecord>, Vec<BusTrace>) {
     let total = work.len();
-    let threads = threads.max(1).min(total.max(1));
+    let group = match opts.transport {
+        TransportKind::SharedBus { group } => group.max(1),
+        _ => 1,
+    };
+    let cfg = WorkerConfig {
+        transport: opts.transport,
+        faults: opts.faults,
+        revocation: opts.revocation,
+        total,
+    };
+    let bus_count = total.div_ceil(group.max(1)).max(1);
+    let threads = opts.threads.max(1).min(bus_count);
     if threads <= 1 {
-        return run_worker(work, *transport);
+        return run_worker(work, cfg);
     }
     let mut shards: Vec<Vec<SessionWork>> = (0..threads)
-        .map(|_| Vec::with_capacity(total / threads + 1))
+        .map(|_| Vec::with_capacity(total / threads + group))
         .collect();
+    let mut order: Vec<Vec<usize>> = vec![Vec::new(); threads];
     for (i, w) in work.into_iter().enumerate() {
-        shards[i % threads].push(w);
+        let t = (i / group) % threads;
+        order[t].push(i);
+        shards[t].push(w);
     }
     let mut results: Vec<Option<SessionResult>> = (0..total).map(|_| None).collect();
     let mut log: Vec<DeliveryRecord> = Vec::new();
+    let mut traces: Vec<BusTrace> = Vec::new();
     std::thread::scope(|scope| {
         let handles: Vec<_> = shards
             .into_iter()
-            .map(|shard| {
-                let kind = *transport;
-                scope.spawn(move || run_worker(shard, kind))
-            })
+            .map(|shard| scope.spawn(move || run_worker(shard, cfg)))
             .collect();
         for (t, handle) in handles.into_iter().enumerate() {
-            let (shard_results, shard_log) = handle.join().expect("sweep worker panicked");
+            let (shard_results, shard_log, shard_traces) =
+                handle.join().expect("sweep worker panicked");
             for (j, result) in shard_results.into_iter().enumerate() {
-                results[t + j * threads] = Some(result);
+                results[order[t][j]] = Some(result);
             }
             log.extend(shard_log);
+            traces.extend(shard_traces);
         }
     });
+    traces.sort_by_key(|t| t.bus);
     let results = results
         .into_iter()
         .map(|slot| slot.expect("every session slot filled exactly once"))
         .collect();
-    (results, log)
+    (results, log, traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimDevice;
+    use crate::pool::CaPool;
+    use ecq_cert::requester::CertRequester;
+
+    /// Builds real enrolled credentials for `pairs` sessions against a
+    /// one-shard CA (the coordinator's enrollment path, condensed).
+    fn session_work(pairs: usize) -> Vec<SessionWork> {
+        let mut master = HmacDrbg::from_seed(0x7E57_0001);
+        let pool = CaPool::new(1, &mut master);
+        let mut ca_rng = HmacDrbg::new(&master.bytes32(), b"test-ca");
+        let mut ids = Vec::new();
+        let mut requesters = Vec::new();
+        for i in 0..2 * pairs {
+            let device = SimDevice::new(i, 0);
+            let mut rng = HmacDrbg::new(&master.bytes32(), b"test-dev");
+            requesters.push(CertRequester::generate(device.id, &mut rng));
+            ids.push(device.id);
+        }
+        let requests: Vec<_> = requesters.iter().map(|r| r.request()).collect();
+        let ca = pool.shard(0);
+        let issued = ca
+            .issue_batch(&requests, 0, 86_400, &mut ca_rng)
+            .expect("test CA issues");
+        let creds: Vec<Credentials> = requesters
+            .iter()
+            .zip(&issued)
+            .zip(&ids)
+            .map(|((requester, cert), &id)| {
+                let keys = requester
+                    .reconstruct(cert, &ca.public_key())
+                    .expect("test reconstruction");
+                Credentials {
+                    id,
+                    cert: cert.certificate,
+                    keys,
+                    ca_public: ca.public_key(),
+                }
+            })
+            .collect();
+        let mut creds = creds.into_iter();
+        (0..pairs)
+            .map(|p| {
+                let mut wire_seed = [0u8; 32];
+                wire_seed[0] = p as u8;
+                SessionWork {
+                    index: p,
+                    creds_a: creds.next().expect("one credential per endpoint"),
+                    creds_b: creds.next().expect("one credential per endpoint"),
+                    preset_a: DevicePreset::S32K144,
+                    preset_b: DevicePreset::S32K144,
+                    wire_seed,
+                    now: 1,
+                    variant: StsVariant::Conventional,
+                    denied: false,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "bus split across sweep shards")]
+    fn split_bus_group_is_rejected() {
+        let mut work = session_work(2);
+        work.remove(1); // bus 0 = sessions {0, 1}; hand the worker only 0
+        let cfg = WorkerConfig {
+            transport: TransportKind::SharedBus { group: 2 },
+            faults: FaultSpec::none(),
+            revocation: None,
+            total: 2,
+        };
+        let _ = run_worker(work, cfg);
+    }
+
+    #[test]
+    fn shared_bus_sessions_complete_with_equal_keys() {
+        let work = session_work(2);
+        let cfg = WorkerConfig {
+            transport: TransportKind::SharedBus { group: 2 },
+            faults: FaultSpec::none(),
+            revocation: None,
+            total: 2,
+        };
+        let (results, log, traces) = run_worker(work, cfg);
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert!(r.failure.is_none(), "unexpected failure: {:?}", r.failure);
+            assert!(r.key.is_some());
+            assert_eq!(r.messages, 4);
+            assert_eq!(r.frames, 10);
+        }
+        assert_eq!(log.len(), 8, "4 deliveries per session");
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].counters, FaultCounters::default());
+    }
+
+    #[test]
+    fn shared_bus_sweep_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let opts = SweepOptions {
+                threads,
+                transport: TransportKind::SharedBus { group: 2 },
+                faults: FaultSpec {
+                    seed: 11,
+                    drop_per_mille: 60,
+                    corrupt_per_mille: 40,
+                    deadline_us: 30_000_000,
+                    ..FaultSpec::none()
+                },
+                revocation: None,
+            };
+            let (results, _, traces) = run_sweep(session_work(4), &opts);
+            let outcomes: Vec<_> = results
+                .iter()
+                .map(|r| (r.key.as_ref().map(|k| *k.as_bytes()), r.failure, r.end_us))
+                .collect();
+            let counters: Vec<_> = traces.iter().map(|t| (t.bus, t.counters)).collect();
+            (outcomes, counters)
+        };
+        let baseline = run(1);
+        assert_eq!(baseline, run(2));
+        assert_eq!(baseline, run(8));
+    }
 }

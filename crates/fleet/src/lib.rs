@@ -49,13 +49,15 @@ pub mod device;
 pub mod interleave;
 pub mod pool;
 pub mod report;
+pub mod scenario;
 pub mod scheduler;
 
 pub use coordinator::{FleetConfig, FleetCoordinator, PairSession};
 pub use device::SimDevice;
-pub use interleave::{DeliveryRecord, SweepOptions, TransportKind};
+pub use interleave::{DeliveryRecord, RevocationSpec, SweepOptions, TransportKind};
 pub use pool::CaPool;
 pub use report::FleetReport;
+pub use scenario::{Expected, Scenario, ScenarioOutcome};
 pub use scheduler::{EventScheduler, VirtualTime};
 
 /// Errors surfaced by a fleet run.

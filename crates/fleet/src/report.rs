@@ -45,6 +45,12 @@ pub struct FleetReport {
     /// Handshakes denied because a participant's certificate was on the
     /// coordinator's revocation list.
     pub denied_revoked: u64,
+    /// Sessions that failed closed with `ProtocolError::Timeout` at the
+    /// sweep deadline (fault-injected sweeps only; 0 on a clean wire).
+    pub timeouts: u64,
+    /// Fault-engine activity summed over every shared bus in the sweep
+    /// (all-zero for private links or an inactive fault spec).
+    pub faults: ecq_simnet::FaultCounters,
     /// SHA-256 over every session's outcome (key bytes or failure
     /// marker) in session-index order — the cheap cross-run and
     /// cross-thread-count determinism witness.

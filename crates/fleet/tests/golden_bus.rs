@@ -1,0 +1,138 @@
+//! Golden frame-schedule fixture: a two-session shared-bus sweep must
+//! reproduce its committed CAN-FD frame schedule line-by-line.
+//!
+//! The schedule is the determinism contract made visible: arbitration
+//! winners, transmission windows, ISO-TP kinds and fault fates for
+//! every frame on the bus, in bus order. Any change to arbitration,
+//! segmentation, timing or the fault engine shows up here as a diff —
+//! deliberate changes regenerate the fixture with
+//! `GOLDEN_BUS_REGENERATE=1 cargo test -p ecq_fleet --test golden_bus`.
+
+use ecq_devices::DevicePreset;
+use ecq_fleet::{FleetConfig, FleetCoordinator, SweepOptions, TransportKind};
+use ecq_simnet::{FaultAction, FaultSpec, TargetedFault};
+
+fn fixture_path() -> String {
+    format!(
+        "{}/tests/fixtures/shared_bus_schedule.txt",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+/// One line per frame: stable, diff-friendly, no floats.
+fn render(fleet: &FleetCoordinator) -> String {
+    let mut out = String::new();
+    out.push_str("# bus seq id slot sender kind fate start_ns completed_ns\n");
+    for (bus, frames) in fleet.last_frame_logs() {
+        for f in frames {
+            let slot = f.slot.map_or("-".to_string(), |s| s.to_string());
+            let sender = f.sender.map_or("-", |r| match r {
+                ecq_proto::Role::Initiator => "I",
+                ecq_proto::Role::Responder => "R",
+            });
+            out.push_str(&format!(
+                "{bus} {seq} {id:#05x} {slot} {sender} {kind} {fate} {start} {end}\n",
+                seq = f.seq,
+                id = f.id,
+                kind = f.kind,
+                fate = f.fate,
+                start = f.start_ns,
+                end = f.completed_ns,
+            ));
+        }
+    }
+    out
+}
+
+/// The pinned run: two S32K144 sessions on one bus, one targeted drop
+/// so the fixture also pins how a faulted frame is scheduled (it still
+/// occupies the bus) and how the timeout path drains.
+fn pinned_run() -> FleetCoordinator {
+    let mut fleet = FleetCoordinator::new(FleetConfig {
+        devices: 4,
+        ca_shards: 1,
+        enroll_batch: 4,
+        seed: 0x601D,
+        ..FleetConfig::default()
+    });
+    fleet.set_preset_all(DevicePreset::S32K144);
+    fleet.enroll_all().expect("enrollment");
+    let faults = FaultSpec::targeted_only(
+        TargetedFault {
+            session: 1,
+            sender: ecq_proto::Role::Responder,
+            message: 0,
+            frame: 2,
+            action: FaultAction::Drop,
+        },
+        20_000_000,
+    );
+    let opts = SweepOptions {
+        threads: 1,
+        transport: TransportKind::SharedBus { group: 2 },
+        faults,
+        revocation: None,
+    };
+    // Session 1 times out (its B1 never reassembles); session 0
+    // completes. Both outcomes are part of the pinned schedule.
+    let _ = fleet.interleaved_sweep(&opts);
+    fleet
+}
+
+#[test]
+fn frame_schedule_matches_golden_fixture() {
+    let fleet = pinned_run();
+    let rendered = render(&fleet);
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_BUS_REGENERATE").is_some() {
+        std::fs::write(&path, &rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path}: {e}; regenerate with GOLDEN_BUS_REGENERATE=1")
+    });
+    if rendered != expected {
+        // Line-by-line first differences beat a full-text dump.
+        for (n, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+            assert_eq!(
+                got,
+                want,
+                "frame schedule diverges from fixture at line {}",
+                n + 1
+            );
+        }
+        assert_eq!(
+            rendered.lines().count(),
+            expected.lines().count(),
+            "frame schedule length diverges from fixture"
+        );
+        panic!("schedules differ but no line did — check trailing whitespace");
+    }
+}
+
+/// The fixture itself stays structurally sane: both sessions' frames
+/// appear, the dropped frame is recorded with its fate, and bus time
+/// never runs backwards.
+#[test]
+fn fixture_is_structurally_sound() {
+    let fleet = pinned_run();
+    let logs = fleet.last_frame_logs();
+    assert_eq!(logs.len(), 1, "one shared bus");
+    let frames = &logs[0].1;
+    assert!(!frames.is_empty());
+    assert!(
+        frames.iter().any(|f| f.fate == "drop"),
+        "pinned drop missing"
+    );
+    assert!(frames.iter().any(|f| f.slot == Some(0)));
+    assert!(frames.iter().any(|f| f.slot == Some(1)));
+    for pair in frames.windows(2) {
+        assert!(
+            pair[0].start_ns <= pair[1].start_ns,
+            "bus schedule must be time-ordered"
+        );
+    }
+    let report = fleet.report();
+    assert_eq!(report.timeouts, 1, "session 1 fails closed at the deadline");
+    assert_eq!(report.handshakes, 1, "session 0 still completes");
+}

@@ -34,6 +34,7 @@ fn report_is_bit_identical_across_thread_counts() {
                 &SweepOptions {
                     threads,
                     transport: TransportKind::Simnet,
+                    ..SweepOptions::default()
                 },
             );
             fleet.report().clone()
@@ -82,6 +83,7 @@ fn handshakes_interleave_across_sessions() {
         &SweepOptions {
             threads: 1,
             transport: TransportKind::Simnet,
+            ..SweepOptions::default()
         },
     );
     let log = fleet.last_deliveries();
@@ -115,6 +117,7 @@ fn keys_are_transport_independent_but_makespan_is_not() {
         &SweepOptions {
             threads: 1,
             transport: TransportKind::Channel { latency_us: 0 },
+            ..SweepOptions::default()
         },
     );
     assert_eq!(simnet.report().key_digest, channel.report().key_digest);
@@ -196,6 +199,7 @@ fn mixed_thread_and_transport_runs_share_keys() {
         &SweepOptions {
             threads: 8,
             transport: TransportKind::Simnet,
+            ..SweepOptions::default()
         },
     );
     let ka: Vec<_> = one

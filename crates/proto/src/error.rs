@@ -21,6 +21,14 @@ pub enum ProtocolError {
     /// The handshake driver exceeded its round budget (protocol bug or
     /// a deadlocked state machine).
     Stalled,
+    /// The handshake did not complete before its virtual-time deadline
+    /// (lost or withheld wire messages — the fail-closed outcome for a
+    /// lossy or adversarial medium).
+    Timeout,
+    /// Both endpoints reported establishment but derived different
+    /// session keys — never acceptable silently; surfacing it is the
+    /// conformance suite's core soundness check.
+    KeyMismatch,
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -33,6 +41,8 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::Decode => write!(f, "message decoding failed"),
             ProtocolError::NotEstablished => write!(f, "session not established"),
             ProtocolError::Stalled => write!(f, "handshake stalled"),
+            ProtocolError::Timeout => write!(f, "handshake timed out"),
+            ProtocolError::KeyMismatch => write!(f, "session keys disagree"),
         }
     }
 }

@@ -90,6 +90,16 @@ impl CanFdFrame {
         }
     }
 
+    /// Flips bits of one meaningful payload byte (XOR `0xA5`), the
+    /// fault-injection model of a corrupted-on-the-wire frame that
+    /// still passes the receiving controller's CRC. `offset` is reduced
+    /// modulo [`CanFdFrame::used_len`]; a no-op on empty frames.
+    pub fn corrupt_byte(&mut self, offset: usize) {
+        if self.used_len > 0 {
+            self.payload[offset % self.used_len] ^= 0xA5;
+        }
+    }
+
     /// Transmission time of this frame under `timing`.
     ///
     /// Field accounting (ISO 11898-1, base format, BRS set):

@@ -16,7 +16,13 @@
 //! * [`transport`] — the `ecq_proto` [`transport::CanLink`] transport:
 //!   handshake messages wrapped in the app header, segmented by ISO-TP
 //!   and routed frame-by-frame through the bus, with per-link latency
-//!   from the `ecq_devices` cost tables.
+//!   from the `ecq_devices` cost tables,
+//! * [`fault`] — the seeded, schedule-stable fault-injection plan
+//!   (frame drop/corrupt/duplicate/reorder/delay, message replay,
+//!   babble storms, clock skew),
+//! * [`sharedbus`] — a multi-session arbitrated bus processed
+//!   incrementally under a [`fault::FaultPlan`], with typed-message
+//!   reconstruction and a pinned frame-schedule log.
 //!
 //! The headline check reproduced by the tests and the Fig. 7 bench: a
 //! full handshake message (≤ 245 B) crosses the bus in ~1 ms — "the
@@ -27,9 +33,13 @@
 pub mod app;
 pub mod bus;
 pub mod canfd;
+pub mod fault;
 pub mod isotp;
+pub mod sharedbus;
 pub mod transport;
 
+pub use fault::{BabbleSpec, FaultAction, FaultPlan, FaultSpec, TargetedFault};
+pub use sharedbus::{DeliveryDue, FaultCounters, FrameRecord, SharedBus};
 pub use transport::CanLink;
 
 /// Simulation time in nanoseconds.

@@ -6,6 +6,7 @@
 #   ./scripts/verify.sh test     # build + tests + ct suite  (CI `test`)
 #   ./scripts/verify.sh fleet    # interleaved fleet smoke   (CI `fleet-smoke`)
 #   ./scripts/verify.sh ctlint   # secret-flow analyzer       (CI `ctlint`)
+#   ./scripts/verify.sh scenario # adversarial conformance    (CI `scenario`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -73,13 +74,34 @@ run_fleet() {
   cargo run --release -q --bin bench_p256 -- --json BENCH_p256.json
 }
 
+run_scenario() {
+  # The adversarial conformance suite: every named fault scenario must
+  # land on its paper-predicted outcome (matching keys, or the exact
+  # fail-closed error — never a silent key mismatch, never a session
+  # keyed against a revoked certificate).
+  echo "==> adversarial conformance suite (analysis)"
+  cargo test --release -q -p ecq_analysis --test conformance
+
+  # The scenario catalog through the operator CLI — the same runs a
+  # user gets from `fleet --scenario all`.
+  echo "==> fleet --scenario all (catalog vs predicted outcomes)"
+  cargo run --release -q --bin fleet -- --scenario all
+
+  # Fixed-seed fault matrix: 4 device presets x 3 STS variants under a
+  # heavy mixed fault schedule, release mode (#[ignore]d under plain
+  # `cargo test` — it is the fuzz-pass tail of the scenario job).
+  echo "==> fixed-seed fault matrix (release-mode fuzz pass)"
+  cargo test --release -q -p ecq_fleet --test fault_soundness -- --ignored
+}
+
 case "$mode" in
   all)
     run_test
     run_lint
     run_ctlint
     run_fleet
-    echo "OK: build, tests, fmt, clippy, docs, ctlint, fleet smoke all green"
+    run_scenario
+    echo "OK: build, tests, fmt, clippy, docs, ctlint, fleet smoke, scenarios all green"
     ;;
   test)
     run_test
@@ -97,8 +119,12 @@ case "$mode" in
     run_fleet
     echo "OK: fleet smoke green"
     ;;
+  scenario)
+    run_scenario
+    echo "OK: adversarial conformance green"
+    ;;
   *)
-    echo "usage: $0 [all|lint|test|ctlint|fleet]" >&2
+    echo "usage: $0 [all|lint|test|ctlint|fleet|scenario]" >&2
     exit 2
     ;;
 esac

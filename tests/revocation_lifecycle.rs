@@ -3,6 +3,7 @@
 //! travels over the CAN-FD stack.
 
 use dynamic_ecqv::cert::RevocationList;
+use dynamic_ecqv::fleet::FleetError;
 use dynamic_ecqv::prelude::*;
 
 fn world(seed: u64) -> (Credentials, Credentials, HmacDrbg) {
@@ -78,4 +79,119 @@ fn devices_adopt_only_newer_lists() {
         current.clone()
     };
     assert!(adopted.is_revoked(1));
+}
+
+/// Builds the stale-CRL window fleet: four S32K144 devices, two
+/// sessions on one shared bus, revocation targeting session 0.
+fn window_fleet() -> FleetCoordinator {
+    let mut fleet = FleetCoordinator::new(FleetConfig {
+        devices: 4,
+        ca_shards: 1,
+        enroll_batch: 4,
+        seed: 0x57A1E,
+        ..FleetConfig::default()
+    });
+    fleet.set_preset_all(DevicePreset::S32K144);
+    fleet.enroll_all().unwrap();
+    fleet
+}
+
+fn window_sweep(window_end_us: Option<u64>) -> FleetCoordinator {
+    use dynamic_ecqv::fleet::RevocationSpec;
+    use dynamic_ecqv::simnet::FaultSpec;
+    let mut fleet = window_fleet();
+    let opts = SweepOptions {
+        threads: 1,
+        transport: TransportKind::SharedBus { group: 2 },
+        faults: FaultSpec {
+            deadline_us: 30_000_000,
+            ..FaultSpec::none()
+        },
+        revocation: window_end_us.map(|end| RevocationSpec {
+            session: 0,
+            at_us: 0,
+            propagation_us: end,
+        }),
+    };
+    let _ = fleet.interleaved_sweep(&opts);
+    fleet
+}
+
+/// The stale-CRL acceptance window, with its boundary pinned to the
+/// exact microsecond: a revocation whose CRL propagates at or before
+/// the session's final delivery is enforced; one microsecond later and
+/// the stale window accepts the (already revoked!) peer. The paper's
+/// revocation story lives or dies on that propagation latency.
+#[test]
+fn stale_crl_acceptance_window_boundary_is_exact() {
+    use dynamic_ecqv::proto::ProtocolError;
+
+    // Baseline: find the virtual time of session 0's final delivery
+    // (B2 consumed by the initiator — the moment the session closes).
+    let baseline = window_sweep(None);
+    let t_close = baseline
+        .last_deliveries()
+        .iter()
+        .filter(|d| d.session == 0 && d.step == "B2")
+        .map(|d| d.at_us)
+        .next_back()
+        .expect("session 0 completes in the baseline");
+    assert!(baseline.sessions()[0].last_key().is_some());
+
+    // CRL propagated exactly at the close: the last delivery is
+    // refused — revoked peers are rejected up to the final message.
+    let refused = window_sweep(Some(t_close));
+    assert_eq!(
+        *refused.sessions()[0].failure().unwrap(),
+        FleetError::Protocol(ProtocolError::Cert(dynamic_ecqv::cert::CertError::Revoked))
+    );
+    assert!(refused.sessions()[0].last_key().is_none());
+
+    // One microsecond later and the whole handshake slips inside the
+    // stale window: the revoked peer is accepted. This acceptance is
+    // the documented CRL-latency exposure, pinned exactly.
+    let accepted = window_sweep(Some(t_close + 1));
+    assert!(accepted.sessions()[0].failure().is_none());
+    assert!(accepted.sessions()[0].last_key().is_some());
+
+    // Bystander session is untouched in all three runs.
+    for fleet in [&baseline, &refused, &accepted] {
+        assert!(fleet.sessions()[1].last_key().is_some());
+        assert!(fleet.sessions()[1].failure().is_none());
+    }
+}
+
+/// Inside the window the revoked peer is accepted; once the window
+/// lapses mid-handshake, the next delivery fails the session closed.
+#[test]
+fn window_lapsing_mid_handshake_fails_closed() {
+    use dynamic_ecqv::proto::ProtocolError;
+
+    // Find when session 0's *first* delivery lands (A1 at responder).
+    let baseline = window_sweep(None);
+    let t_first = baseline
+        .last_deliveries()
+        .iter()
+        .filter(|d| d.session == 0)
+        .map(|d| d.at_us)
+        .next()
+        .expect("session 0 delivers in the baseline");
+
+    // Window lapses right after the first delivery: A1 passes, B1 is
+    // refused — the handshake dies between STS steps.
+    let fleet = window_sweep(Some(t_first + 1));
+    assert_eq!(
+        *fleet.sessions()[0].failure().unwrap(),
+        FleetError::Protocol(ProtocolError::Cert(dynamic_ecqv::cert::CertError::Revoked))
+    );
+    assert!(fleet.sessions()[0].last_key().is_none());
+    // The refusal happened mid-handshake: at least one message of
+    // session 0 was delivered before the session died.
+    assert!(
+        fleet
+            .last_deliveries()
+            .iter()
+            .any(|d| d.session == 0 && d.step == "A1"),
+        "A1 must land inside the window before the refusal"
+    );
 }
