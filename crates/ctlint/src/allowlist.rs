@@ -1,5 +1,6 @@
-//! The committed allowlist (`ci/ctlint_allow.toml`): audited
-//! public-input vartime sites and other justified exceptions.
+//! The committed per-pass allowlists (`ci/ctlint_allow.toml`,
+//! `ci/determinism_allow.toml`, `ci/panic_allow.toml`): audited sites
+//! and other justified exceptions.
 //!
 //! Format — a TOML subset parsed by hand (the workspace is
 //! dependency-free): an array of `[[allow]]` tables whose values are
@@ -14,25 +15,28 @@
 //! justification = "u1, u2 and Q are public in ECDSA verification"
 //! ```
 //!
-//! Every entry must carry a non-empty `justification`, and every entry
-//! must suppress at least one live finding — a stale entry (the code it
-//! excused was removed or renamed) fails the lint, so the allowlist
-//! can only shrink in step with the code.
+//! The `class` key must belong to the owning pass's vocabulary
+//! ([`crate::pass::Pass::classes`]). Every entry must carry a
+//! non-empty `justification`, and every entry must suppress at least
+//! one live finding — a stale entry (the code it excused was removed
+//! or renamed) fails the lint, so an allowlist can only shrink in step
+//! with the code.
 
-use crate::taint::{Class, Finding};
+use crate::findings::Finding;
 
 /// One `[[allow]]` entry.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Entry {
-    /// Finding class this entry suppresses.
-    pub class: Class,
+    /// Finding class this entry suppresses (validated against the
+    /// owning pass's vocabulary at parse time).
+    pub class: String,
     /// Relative file path (exact match against the finding).
     pub file: String,
     /// Enclosing function (simple or `Type::name`) or struct name.
     pub context: String,
     /// Optional identifier (callee / tainted binding / field).
     pub ident: Option<String>,
-    /// Why this site is allowed to stay variable-time / unwiped.
+    /// Why this site is allowed to stay.
     pub justification: String,
     /// 1-based line of the entry in the allowlist file.
     pub line: u32,
@@ -48,8 +52,8 @@ impl Entry {
     }
 }
 
-/// A problem with the allowlist itself (parse error, missing
-/// justification, stale entry).
+/// A problem with the allowlist itself (parse error, bad class,
+/// missing justification, stale entry).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AllowlistError {
     /// 1-based line in the allowlist file.
@@ -62,58 +66,63 @@ pub struct AllowlistError {
 /// `(key, value, line)` triples seen so far.
 type RawEntry = (u32, Vec<(String, String, u32)>);
 
-/// Parses the allowlist. Returns entries plus any structural errors
-/// (errors do not abort parsing — the caller reports them all).
-pub fn parse(src: &str) -> (Vec<Entry>, Vec<AllowlistError>) {
+/// Parses an allowlist, validating each `class` against
+/// `valid_classes` (the owning pass's vocabulary). Returns entries
+/// plus any structural errors (errors do not abort parsing — the
+/// caller reports them all).
+pub fn parse(src: &str, valid_classes: &[&str]) -> (Vec<Entry>, Vec<AllowlistError>) {
     let mut entries = Vec::new();
     let mut errors = Vec::new();
     let mut cur: Option<RawEntry> = None;
 
-    let flush = |cur: &mut Option<RawEntry>,
-                 entries: &mut Vec<Entry>,
-                 errors: &mut Vec<AllowlistError>| {
-        let Some((start, kvs)) = cur.take() else {
-            return;
-        };
-        let get = |k: &str| {
-            kvs.iter()
-                .find(|(key, _, _)| key == k)
-                .map(|(_, v, _)| v.clone())
-        };
-        let class = match get("class").as_deref().and_then(Class::from_name) {
-            Some(c) => c,
-            None => {
+    let flush =
+        |cur: &mut Option<RawEntry>, entries: &mut Vec<Entry>, errors: &mut Vec<AllowlistError>| {
+            let Some((start, kvs)) = cur.take() else {
+                return;
+            };
+            let get = |k: &str| {
+                kvs.iter()
+                    .find(|(key, _, _)| key == k)
+                    .map(|(_, v, _)| v.clone())
+            };
+            let class = match get("class") {
+                Some(c) if valid_classes.contains(&c.as_str()) => c,
+                other => {
+                    errors.push(AllowlistError {
+                        line: start,
+                        message: format!(
+                            "entry needs a valid `class` for this pass ({}), got {:?}",
+                            valid_classes.join(", "),
+                            other.unwrap_or_default()
+                        ),
+                    });
+                    return;
+                }
+            };
+            let (Some(file), Some(context)) = (get("file"), get("context")) else {
                 errors.push(AllowlistError {
                     line: start,
-                    message: "entry needs a valid `class` (vartime-call, secret-branch, nonct-eq, missing-zeroize)".into(),
+                    message: "entry needs `file` and `context`".into(),
+                });
+                return;
+            };
+            let justification = get("justification").unwrap_or_default();
+            if justification.trim().is_empty() {
+                errors.push(AllowlistError {
+                    line: start,
+                    message: format!("entry for `{context}` has no justification"),
                 });
                 return;
             }
-        };
-        let (Some(file), Some(context)) = (get("file"), get("context")) else {
-            errors.push(AllowlistError {
+            entries.push(Entry {
+                class,
+                file,
+                context,
+                ident: get("ident"),
+                justification,
                 line: start,
-                message: "entry needs `file` and `context`".into(),
             });
-            return;
         };
-        let justification = get("justification").unwrap_or_default();
-        if justification.trim().is_empty() {
-            errors.push(AllowlistError {
-                line: start,
-                message: format!("entry for `{context}` has no justification"),
-            });
-            return;
-        }
-        entries.push(Entry {
-            class,
-            file,
-            context,
-            ident: get("ident"),
-            justification,
-            line: start,
-        });
-    };
 
     for (lineno, raw) in src.lines().enumerate() {
         let line = strip_comment(raw).trim().to_string();
@@ -214,6 +223,8 @@ pub fn apply(findings: Vec<Finding>, entries: &[Entry]) -> Applied {
 mod tests {
     use super::*;
 
+    const VALID: &[&str] = &["vartime-call", "missing-zeroize", "nonct-eq"];
+
     const SAMPLE: &str = r#"
 # audited sites
 [[allow]]
@@ -232,38 +243,53 @@ justification = "signature components are public"
 
     #[test]
     fn parses_entries() {
-        let (entries, errors) = parse(SAMPLE);
+        let (entries, errors) = parse(SAMPLE, VALID);
         assert!(errors.is_empty(), "{errors:?}");
         assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].class, Class::VartimeCall);
+        assert_eq!(entries[0].class, "vartime-call");
         assert_eq!(entries[0].ident.as_deref(), Some("mul_vartime"));
     }
 
     #[test]
     fn rejects_missing_justification() {
-        let (_e, errors) =
-            parse("[[allow]]\nclass = \"nonct-eq\"\nfile = \"f\"\ncontext = \"c\"\n");
+        let (_e, errors) = parse(
+            "[[allow]]\nclass = \"nonct-eq\"\nfile = \"f\"\ncontext = \"c\"\n",
+            VALID,
+        );
         assert_eq!(errors.len(), 1);
         assert!(errors[0].message.contains("justification"));
     }
 
     #[test]
+    fn rejects_class_outside_pass_vocabulary() {
+        let (_e, errors) = parse(
+            "[[allow]]\nclass = \"panic-unwrap\"\nfile = \"f\"\ncontext = \"c\"\n\
+             justification = \"wrong pass\"\n",
+            VALID,
+        );
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].message.contains("valid `class`"));
+    }
+
+    #[test]
     fn matches_qualified_contexts() {
-        let (entries, _) = parse(SAMPLE);
+        let (entries, _) = parse(SAMPLE, VALID);
         let f = Finding {
             file: "crates/x/src/a.rs".into(),
             line: 10,
-            class: Class::VartimeCall,
+            pass: "secret-flow".into(),
+            class: "vartime-call".into(),
             context: "Ecdsa::verify".into(),
             ident: "mul_vartime".into(),
             message: String::new(),
+            chain: Vec::new(),
         };
         assert!(entries[0].matches(&f));
     }
 
     #[test]
     fn stale_entries_surface() {
-        let (entries, _) = parse(SAMPLE);
+        let (entries, _) = parse(SAMPLE, VALID);
         let applied = apply(Vec::new(), &entries);
         assert_eq!(applied.stale.len(), 2);
     }

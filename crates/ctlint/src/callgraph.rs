@@ -1,0 +1,201 @@
+//! The shared name-resolved call graph and reachability engine.
+//!
+//! Calls are resolved by simple name against the whole-workspace index
+//! — an over-approximation (ambiguous names connect to every
+//! candidate) that errs toward flagging; per-pass allowlists record
+//! the audited exceptions. Reachability is a BFS from a pass-chosen
+//! root set, with parent pointers retained so every finding can carry
+//! a root-first call chain as reviewable evidence.
+
+use crate::index::{FnItem, Index};
+use crate::lexer::{Tok, TokKind};
+use std::collections::HashMap;
+
+/// The call graph over one [`Index`].
+pub struct CallGraph {
+    /// Simple fn name → indices into [`Index::fns`].
+    by_name: HashMap<String, Vec<usize>>,
+    /// Per-fn `(callee simple name, line)` call sites, parallel to
+    /// [`Index::fns`].
+    pub calls: Vec<Vec<(String, u32)>>,
+}
+
+/// The result of a reachability sweep: the cone and its BFS tree.
+pub struct Reach {
+    /// Whether fn `i` is in the cone, parallel to [`Index::fns`].
+    pub reachable: Vec<bool>,
+    /// BFS parent of fn `i` (`None` for roots and unreached fns).
+    parent: Vec<Option<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for `ix`.
+    pub fn build(ix: &Index) -> Self {
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in ix.fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+        let calls = ix.fns.iter().map(|f| call_sites(&f.body)).collect();
+        CallGraph { by_name, calls }
+    }
+
+    /// BFS from every fn where `seed` holds, following edges out of a
+    /// fn only while `follow` holds for it (the secret-flow pass stops
+    /// at the vartime boundary; the determinism/panic passes follow
+    /// everything).
+    pub fn reach(
+        &self,
+        ix: &Index,
+        seed: impl Fn(&FnItem) -> bool,
+        follow: impl Fn(&FnItem) -> bool,
+    ) -> Reach {
+        let mut reachable: Vec<bool> = ix.fns.iter().map(&seed).collect();
+        let mut parent: Vec<Option<usize>> = vec![None; ix.fns.len()];
+        // Visit in index order (a queue, not a stack) so parent chains
+        // are shortest paths — the most readable evidence.
+        let mut queue: std::collections::VecDeque<usize> = reachable
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| r.then_some(i))
+            .collect();
+        while let Some(i) = queue.pop_front() {
+            if !follow(&ix.fns[i]) {
+                continue;
+            }
+            for (callee, _) in &self.calls[i] {
+                if let Some(targets) = self.by_name.get(callee.as_str()) {
+                    for &t in targets {
+                        if !reachable[t] {
+                            reachable[t] = true;
+                            parent[t] = Some(i);
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+        }
+        Reach { reachable, parent }
+    }
+}
+
+impl Reach {
+    /// The root-first chain of qualified fn names ending at fn `i`
+    /// (just `[qual_i]` when `i` is itself a root). Empty when `i` is
+    /// not in the cone.
+    pub fn chain(&self, ix: &Index, i: usize) -> Vec<String> {
+        if !self.reachable.get(i).copied().unwrap_or(false) {
+            return Vec::new();
+        }
+        let mut rev = vec![ix.fns[i].qual.clone()];
+        let mut cur = i;
+        while let Some(p) = self.parent[cur] {
+            rev.push(ix.fns[p].qual.clone());
+            cur = p;
+        }
+        rev.reverse();
+        rev
+    }
+}
+
+/// Extracts `(callee simple name, line)` pairs from body tokens: an
+/// identifier directly followed by `(`, or via turbofish `::<T>(`.
+/// Macro invocations (`name!(…)`) are not calls, but their arguments
+/// are scanned like any other tokens.
+pub fn call_sites(body: &[Tok]) -> Vec<(String, u32)> {
+    let sig: Vec<&Tok> = body.iter().filter(|t| !t.is_comment()).collect();
+    let mut out = Vec::new();
+    for (i, t) in sig.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // Keywords never name calls.
+        if matches!(
+            t.text.as_str(),
+            "if" | "while"
+                | "match"
+                | "for"
+                | "return"
+                | "let"
+                | "fn"
+                | "move"
+                | "in"
+                | "as"
+                | "loop"
+                | "else"
+                | "break"
+                | "continue"
+                | "unsafe"
+                | "mut"
+                | "ref"
+                | "where"
+        ) {
+            continue;
+        }
+        let mut j = i + 1;
+        // `name!` is a macro, not a call.
+        if sig.get(j).map(|n| n.is_punct("!")).unwrap_or(false) {
+            continue;
+        }
+        // Turbofish: name::<...>(
+        if sig.get(j).map(|n| n.is_punct("::")).unwrap_or(false)
+            && sig.get(j + 1).map(|n| n.is_punct("<")).unwrap_or(false)
+        {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < sig.len() {
+                if sig[k].is_punct("<") {
+                    depth += 1;
+                } else if sig[k].is_punct(">") || sig[k].is_punct(">>") {
+                    depth -= if sig[k].is_punct(">>") { 2 } else { 1 };
+                    if depth <= 0 {
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if sig.get(j).map(|n| n.is_punct("(")).unwrap_or(false) {
+            // Skip path prefixes: in `a::b(…)` only `b` is the callee;
+            // `i` already points at the segment before `(`.
+            out.push((t.text.clone(), t.line));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_is_root_first() {
+        let mut ix = Index::default();
+        ix.add_file(
+            "t.rs",
+            "fn root() { a(); }\nfn a() { b(); }\nfn b() {}\nfn other() {}\n",
+        );
+        let cg = CallGraph::build(&ix);
+        let reach = cg.reach(&ix, |f| f.name == "root", |_| true);
+        let b = ix.fns.iter().position(|f| f.name == "b").unwrap();
+        assert_eq!(reach.chain(&ix, b), vec!["root", "a", "b"]);
+        let other = ix.fns.iter().position(|f| f.name == "other").unwrap();
+        assert!(!reach.reachable[other]);
+        assert!(reach.chain(&ix, other).is_empty());
+    }
+
+    #[test]
+    fn follow_predicate_stops_propagation() {
+        let mut ix = Index::default();
+        ix.add_file(
+            "t.rs",
+            "fn root() { stop(); }\nfn stop() { hidden(); }\nfn hidden() {}\n",
+        );
+        let cg = CallGraph::build(&ix);
+        let reach = cg.reach(&ix, |f| f.name == "root", |f| f.name != "stop");
+        let stop = ix.fns.iter().position(|f| f.name == "stop").unwrap();
+        let hidden = ix.fns.iter().position(|f| f.name == "hidden").unwrap();
+        assert!(reach.reachable[stop]);
+        assert!(!reach.reachable[hidden]);
+    }
+}

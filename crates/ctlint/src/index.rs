@@ -332,10 +332,16 @@ impl<'a> Cursor<'a> {
         let mut angle = 0i32;
         while i < self.toks.len() {
             let t = &self.toks[i];
+            // `>>` (and `<<`) lex as one token — a signature ending in
+            // `Option<Box<dyn T>>` must still return to depth 0.
             if t.is_punct("<") {
                 angle += 1;
+            } else if t.is_punct("<<") {
+                angle += 2;
             } else if t.is_punct(">") {
                 angle -= 1;
+            } else if t.is_punct(">>") {
+                angle -= 2;
             } else if t.is_punct("{") && angle <= 0 {
                 return Some(i);
             } else if t.is_punct(";") && angle <= 0 {
@@ -500,10 +506,16 @@ impl<'a> Cursor<'a> {
                 let mut parts = Vec::new();
                 while i < self.toks.len() {
                     let t = &self.toks[i];
+                    // `>>`/`<<` lex as one token each (see
+                    // `find_block_open`).
                     if t.is_punct("<") {
                         angle += 1;
+                    } else if t.is_punct("<<") {
+                        angle += 2;
                     } else if t.is_punct(">") {
                         angle -= 1;
+                    } else if t.is_punct(">>") {
+                        angle -= 2;
                     }
                     if angle <= 0 && (t.is_punct("{") || t.is_punct(";") || t.is_ident("where")) {
                         break;
@@ -771,6 +783,20 @@ mod tests {
         assert_eq!(free.params.len(), 2);
         assert_eq!(free.params[0].ty, "& Scalar");
         assert_eq!(free.ret, "bool");
+    }
+
+    #[test]
+    fn double_angle_return_type_does_not_swallow_next_fn() {
+        // `>>` lexes as one token; a signature ending in it must not
+        // leave the angle-depth tracker above zero (which would swallow
+        // every following item into this fn's "body").
+        let ix = index_of(
+            "fn make(k: u8) -> Option<Box<dyn Iterator<Item = u8>>> { None }\n\
+             fn after() {}\n",
+        );
+        let make = ix.fns.iter().find(|f| f.name == "make").unwrap();
+        assert!(ix.fns.iter().any(|f| f.name == "after"));
+        assert!(!make.ret.is_empty());
     }
 
     #[test]

@@ -1,43 +1,56 @@
-//! `ecq_lint` — a workspace-wide secret-flow static analyzer.
+//! `ecq_lint` — a workspace-wide multi-pass static analyzer.
 //!
-//! The paper's security argument rests on every secret-dependent
-//! computation (ECQV blinding, STS ephemerals, ECDH, signing nonces)
-//! being timing-silent. PRs 3 and 5 built the constant-time machinery;
-//! this crate machine-checks the boundary between the `*_ct` and
-//! `*_vartime` worlds instead of leaving it to `grep` and review:
+//! The paper's security argument and the reproduction's engineering
+//! contracts are machine-checked here instead of left to `grep` and
+//! review. One shared front end — a hand-rolled lexer (the container
+//! is offline, so no `syn`), an item index and a name-resolved call
+//! graph — feeds three passes behind the [`pass::Pass`] trait:
 //!
-//! 1. it lexes and indexes every workspace source file (hand-rolled
-//!    token scanner — the container is offline, so no `syn`),
-//! 2. seeds a secrecy taint set from marker types (`Scalar`,
-//!    `KeyPair`, `SessionKey`, `Zeroizing`) and `// ct-secret`
-//!    annotations,
-//! 3. propagates taint through the call graph, and
-//! 4. reports four finding classes (see [`taint::Class`]):
-//!    variable-time calls reachable from secret contexts,
-//!    secret-dependent control flow or indexing, non-constant-time
-//!    equality on secrets, and secret-holding types without
-//!    zeroize-on-drop.
+//! * **`secret-flow`** ([`secretflow`]) — PR 6's constant-time
+//!   boundary audit: vartime calls reachable from secret contexts,
+//!   secret-dependent control flow or indexing, non-constant-time
+//!   equality on secrets, and secret-holding types without
+//!   zeroize-on-drop.
+//! * **`determinism`** ([`determinism`]) — the static half of the
+//!   bit-identical `(config, seed)` report guarantee: no unordered
+//!   iteration, wall-clock reads, thread identity, environment reads,
+//!   unseeded randomness or address-based ordering reachable from the
+//!   report-affecting roots.
+//! * **`panic-reach`** ([`panicreach`]) — no `unwrap`/`expect`,
+//!   panicking macros, dynamic `Vec`/slice indexing or unguarded
+//!   division reachable from the sweep and `Endpoint::step` hot
+//!   paths: a poisoned session must fail closed as a typed error, not
+//!   abort a million-device run.
 //!
-//! Audited public-input vartime sites (ECDSA verification, the
-//! eq. (1) reconstruction, Shamir/Straus, benches, attack tooling)
-//! live in `ci/ctlint_allow.toml` with per-entry justifications; the
-//! lint fails on any unsuppressed finding, any stale allowlist entry
-//! and any entry missing its justification, so `cargo run -p ecq_lint`
-//! is a CI-gated, zero-findings-clean pass.
+//! Every pass shares the same finding model ([`findings::Finding`]:
+//! class, `file:line` anchor, reach-chain evidence) and the same
+//! allowlist discipline ([`allowlist`]): per-pass committed lists
+//! (`ci/ctlint_allow.toml`, `ci/determinism_allow.toml`,
+//! `ci/panic_allow.toml`) whose every entry carries a justification
+//! naming the invariant, and whose stale entries fail the lint. So
+//! `cargo run -p ecq_lint -- --pass all` is a CI-gated,
+//! zero-findings-clean pass.
 
 #![deny(missing_docs)]
 
 pub mod allowlist;
+pub mod callgraph;
+pub mod determinism;
+pub mod findings;
 pub mod index;
 pub mod lexer;
-pub mod taint;
+pub mod panicreach;
+pub mod pass;
+pub mod secretflow;
 
+use findings::Finding;
 use index::Index;
+use pass::Pass;
 use std::path::{Path, PathBuf};
 
 /// Directory names never scanned: build output, vendored stand-ins,
-/// test code (which compares secrets with `assert_eq!` by design) and
-/// the lint's own seeded-violation fixtures.
+/// test code (which compares secrets with `assert_eq!` and `unwrap`s
+/// by design) and the lint's own seeded-violation fixtures.
 pub const SKIP_DIRS: &[&str] = &["target", "third_party", "tests", "fixtures", ".git"];
 
 /// Recursively collects the `.rs` files to scan under `root`,
@@ -74,55 +87,124 @@ pub fn index_workspace(root: &Path) -> std::io::Result<Index> {
     Ok(ix)
 }
 
-/// A full lint run: findings after allowlist application, plus any
+/// One pass's result: findings after allowlist application, plus any
 /// allowlist problems.
 #[derive(Debug, Default)]
-pub struct Report {
-    /// Files scanned.
-    pub files: usize,
-    /// Functions indexed.
-    pub fns: usize,
+pub struct PassReport {
+    /// Pass name.
+    pub pass: String,
+    /// The allowlist file consulted (may not exist — then empty).
+    pub allowlist_path: PathBuf,
     /// Findings not covered by the allowlist.
-    pub unsuppressed: Vec<taint::Finding>,
+    pub unsuppressed: Vec<Finding>,
     /// Findings suppressed, with the justification that covered them.
-    pub suppressed: Vec<(taint::Finding, String)>,
+    pub suppressed: Vec<(Finding, String)>,
     /// Stale allowlist entries (matched nothing).
     pub stale: Vec<allowlist::Entry>,
     /// Structural allowlist errors (bad class, missing justification).
     pub allowlist_errors: Vec<allowlist::AllowlistError>,
 }
 
-impl Report {
-    /// Whether the run is clean (gates CI).
+impl PassReport {
+    /// Whether this pass is clean.
     pub fn is_clean(&self) -> bool {
         self.unsuppressed.is_empty() && self.stale.is_empty() && self.allowlist_errors.is_empty()
     }
 }
 
-/// Runs the analyzer over `root` with `cfg`, applying the allowlist at
-/// `allowlist_path` when it exists.
+/// A full lint run over the selected passes.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned.
+    pub files: usize,
+    /// Functions indexed.
+    pub fns: usize,
+    /// Per-pass results, in selection order.
+    pub passes: Vec<PassReport>,
+}
+
+impl Report {
+    /// Whether the whole run is clean (gates CI).
+    pub fn is_clean(&self) -> bool {
+        self.passes.iter().all(PassReport::is_clean)
+    }
+
+    /// JSON rendering of the run: scan counts, per-pass findings
+    /// (unsuppressed), suppression/stale/error counts, and the clean
+    /// verdict. The findings artifact CI uploads.
+    pub fn to_json(&self) -> String {
+        let passes: Vec<String> = self
+            .passes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"pass\":\"{}\",\"unsuppressed\":{},\"suppressed\":{},\"stale\":{},\"allowlist_errors\":{},\"clean\":{}}}",
+                    p.pass,
+                    findings::findings_to_json(&p.unsuppressed),
+                    p.suppressed.len(),
+                    p.stale.len(),
+                    p.allowlist_errors.len(),
+                    p.is_clean()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"files\":{},\"fns\":{},\"clean\":{},\"passes\":[{}]}}",
+            self.files,
+            self.fns,
+            self.is_clean(),
+            passes.join(",")
+        )
+    }
+}
+
+/// Resolves a `--pass` argument to the passes to run (`"all"` selects
+/// the full registry, in canonical order).
+pub fn select_passes(name: &str) -> Option<Vec<Box<dyn Pass>>> {
+    if name == "all" {
+        return Some(pass::all_passes());
+    }
+    pass::by_name(name).map(|p| vec![p])
+}
+
+/// Runs `passes` over the workspace at `root`. Each pass's allowlist
+/// is its default path under `root`, unless `allowlist_override` is
+/// given (the CLI only permits an override with a single selected
+/// pass). A missing allowlist file is treated as empty.
 pub fn run(
     root: &Path,
-    cfg: &taint::Config,
-    allowlist_path: Option<&Path>,
+    passes: &[Box<dyn Pass>],
+    allowlist_override: Option<&Path>,
 ) -> std::io::Result<Report> {
     let ix = index_workspace(root)?;
-    let findings = taint::analyze(&ix, cfg);
-    let (entries, allowlist_errors) = match allowlist_path {
-        Some(p) if p.exists() => allowlist::parse(&std::fs::read_to_string(p)?),
-        _ => (Vec::new(), Vec::new()),
-    };
-    let applied = allowlist::apply(findings, &entries);
-    Ok(Report {
+    let mut report = Report {
         files: ix.files.len(),
         fns: ix.fns.len(),
-        unsuppressed: applied.unsuppressed,
-        suppressed: applied
-            .suppressed
-            .into_iter()
-            .map(|(f, i)| (f, entries[i].justification.clone()))
-            .collect(),
-        stale: applied.stale,
-        allowlist_errors,
-    })
+        passes: Vec::with_capacity(passes.len()),
+    };
+    for p in passes {
+        let findings = p.analyze(&ix);
+        let path = allowlist_override
+            .map(Path::to_path_buf)
+            .unwrap_or_else(|| root.join(p.default_allowlist()));
+        let (entries, allowlist_errors) = if path.exists() {
+            allowlist::parse(&std::fs::read_to_string(&path)?, p.classes())
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let applied = allowlist::apply(findings, &entries);
+        report.passes.push(PassReport {
+            pass: p.name().to_string(),
+            allowlist_path: path,
+            unsuppressed: applied.unsuppressed,
+            suppressed: applied
+                .suppressed
+                .into_iter()
+                .map(|(f, i)| (f, entries[i].justification.clone()))
+                .collect(),
+            stale: applied.stale,
+            allowlist_errors,
+        });
+    }
+    Ok(report)
 }

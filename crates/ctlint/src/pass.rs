@@ -1,0 +1,93 @@
+//! The [`Pass`] trait and the registry of built-in passes.
+//!
+//! A pass owns a finding-class vocabulary, a default allowlist path
+//! and an analysis over the shared front end (lexer → item index →
+//! call graph). The driver in [`crate::run`] builds the index once and
+//! hands it to every selected pass; each pass's findings are gated by
+//! its own allowlist with the same stale-entry discipline.
+
+use crate::findings::Finding;
+use crate::index::Index;
+
+/// One analysis pass over the shared item index.
+pub trait Pass {
+    /// CLI / report name (`secret-flow`, `determinism`, `panic-reach`).
+    fn name(&self) -> &'static str;
+
+    /// The finding classes this pass can emit — the valid vocabulary
+    /// for its allowlist's `class` keys.
+    fn classes(&self) -> &'static [&'static str];
+
+    /// Default allowlist path, relative to the workspace root.
+    fn default_allowlist(&self) -> &'static str;
+
+    /// Runs the analysis. Findings come back sorted and deduplicated.
+    fn analyze(&self, ix: &Index) -> Vec<Finding>;
+}
+
+/// All built-in passes, in canonical order.
+pub fn all_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(crate::secretflow::SecretFlow::default()),
+        Box::new(crate::determinism::Determinism),
+        Box::new(crate::panicreach::PanicReach),
+    ]
+}
+
+/// Looks up a pass by CLI name; `"all"` is handled by the caller.
+pub fn by_name(name: &str) -> Option<Box<dyn Pass>> {
+    all_passes().into_iter().find(|p| p.name() == name)
+}
+
+/// The tooling path prefixes the determinism and panic-reachability
+/// passes do not report on: the analyzer itself, benches (wall-clock
+/// measurement is their purpose), the conformance/analysis tooling and
+/// demo binaries. The secret-flow pass still scans everything — a
+/// timing leak in an example is a leak. The whole-workspace call graph
+/// is built regardless; only finding *emission* is filtered, so
+/// reachability through these files is still tracked.
+pub const TOOLING_PREFIXES: &[&str] = &[
+    "crates/ctlint/",
+    "crates/bench/",
+    "crates/analysis/",
+    "examples/",
+];
+
+/// Whether `file` is eligible for determinism / panic-reach findings.
+pub fn hot_path_file(file: &str) -> bool {
+    !TOOLING_PREFIXES.iter().any(|p| file.starts_with(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_named() {
+        let names: Vec<&str> = all_passes().iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["secret-flow", "determinism", "panic-reach"]);
+        for n in names {
+            assert_eq!(by_name(n).unwrap().name(), n);
+        }
+        assert!(by_name("all").is_none());
+    }
+
+    #[test]
+    fn class_vocabularies_are_disjoint_and_nonempty() {
+        let mut seen = std::collections::BTreeSet::new();
+        for p in all_passes() {
+            assert!(!p.classes().is_empty());
+            for c in p.classes() {
+                assert!(seen.insert(*c), "class `{c}` appears in two passes");
+            }
+        }
+    }
+
+    #[test]
+    fn tooling_filter() {
+        assert!(hot_path_file("crates/fleet/src/interleave.rs"));
+        assert!(hot_path_file("det_offend.rs"));
+        assert!(!hot_path_file("crates/bench/src/bin/fleet.rs"));
+        assert!(!hot_path_file("crates/ctlint/src/lib.rs"));
+    }
+}

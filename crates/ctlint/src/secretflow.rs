@@ -1,4 +1,4 @@
-//! Secrecy taint analysis over the item index.
+//! The secret-flow pass: secrecy taint analysis over the item index.
 //!
 //! **Seeding.** A binding is tainted when its type mentions a marker
 //! type (`Scalar`, `KeyPair`, `SessionKey`, `Zeroizing` by default —
@@ -10,12 +10,10 @@
 //! annotation.
 //!
 //! **Propagation.** For the vartime-reachability check, secrecy flows
-//! through the call graph: every function transitively callable from a
-//! secret context is treated as operating under secret-derived state.
-//! Calls are resolved by simple name against the whole-workspace index
-//! (an over-approximation — ambiguous names connect to every
-//! candidate — which errs toward flagging; the allowlist records the
-//! audited exceptions).
+//! through the shared call graph ([`crate::callgraph`]): every
+//! function transitively callable from a secret context is treated as
+//! operating under secret-derived state. Edges out of vartime-family
+//! functions are not followed — their bodies are the audited boundary.
 //!
 //! **Finding classes.**
 //! 1. `vartime-call` — a call to a `*_vartime` / `// ct-vartime`
@@ -31,85 +29,78 @@
 //!    neither the struct (via `Drop`/`Zeroize`) nor every tainted
 //!    field's own type wipes itself on drop.
 
+use crate::callgraph::CallGraph;
+use crate::findings::Finding;
 use crate::index::{FnItem, Index};
 use crate::lexer::{Tok, TokKind};
+use crate::pass::Pass;
 use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Default marker types seeding the taint analysis.
 pub const DEFAULT_MARKERS: &[&str] = &["Scalar", "KeyPair", "SessionKey", "Zeroizing"];
 
-/// The four finding classes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub enum Class {
-    /// Variable-time call reachable from a secret context.
-    VartimeCall,
-    /// Secret-dependent branch, loop, match or array index.
-    SecretBranch,
-    /// Non-constant-time equality on tainted data.
-    NonCtEq,
-    /// Secret-holding struct without zeroize-on-drop.
-    MissingZeroize,
-}
+/// The pass name, as spelled on the CLI.
+pub const NAME: &str = "secret-flow";
 
-impl Class {
-    /// The class name used in reports and the allowlist.
-    pub fn name(self) -> &'static str {
-        match self {
-            Class::VartimeCall => "vartime-call",
-            Class::SecretBranch => "secret-branch",
-            Class::NonCtEq => "nonct-eq",
-            Class::MissingZeroize => "missing-zeroize",
-        }
-    }
+/// The class vocabulary.
+pub const CLASSES: &[&str] = &[
+    "vartime-call",
+    "secret-branch",
+    "nonct-eq",
+    "missing-zeroize",
+];
 
-    /// Parses a class name (as spelled in the allowlist).
-    pub fn from_name(s: &str) -> Option<Self> {
-        match s {
-            "vartime-call" => Some(Class::VartimeCall),
-            "secret-branch" => Some(Class::SecretBranch),
-            "nonct-eq" => Some(Class::NonCtEq),
-            "missing-zeroize" => Some(Class::MissingZeroize),
-            _ => None,
-        }
-    }
-}
-
-/// One finding.
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
-pub struct Finding {
-    /// Scanned file (relative path).
-    pub file: String,
-    /// 1-based line.
-    pub line: u32,
-    /// Class.
-    pub class: Class,
-    /// Enclosing function (qualified) or struct name.
-    pub context: String,
-    /// The specific identifier involved (callee, tainted binding or
-    /// field name).
-    pub ident: String,
-    /// Human-readable description.
-    pub message: String,
-}
-
-/// Analysis configuration.
+/// The secret-flow pass, configured by its marker-type list.
 #[derive(Clone, Debug)]
-pub struct Config {
+pub struct SecretFlow {
     /// Marker type names seeding taint.
     pub markers: Vec<String>,
 }
 
-impl Default for Config {
+impl Default for SecretFlow {
     fn default() -> Self {
-        Config {
+        SecretFlow {
             markers: DEFAULT_MARKERS.iter().map(|s| s.to_string()).collect(),
         }
     }
 }
 
+impl Pass for SecretFlow {
+    fn name(&self) -> &'static str {
+        NAME
+    }
+
+    fn classes(&self) -> &'static [&'static str] {
+        CLASSES
+    }
+
+    fn default_allowlist(&self) -> &'static str {
+        "ci/ctlint_allow.toml"
+    }
+
+    fn analyze(&self, ix: &Index) -> Vec<Finding> {
+        analyze(ix, self)
+    }
+}
+
+/// Builds a secret-flow finding (chain filled in by the caller when
+/// the finding is reachability-based).
+fn finding(file: &str, line: u32, class: &str, context: &str, ident: &str, msg: String) -> Finding {
+    Finding {
+        file: file.to_string(),
+        line,
+        pass: NAME.to_string(),
+        class: class.to_string(),
+        context: context.to_string(),
+        ident: ident.to_string(),
+        message: msg,
+        chain: Vec::new(),
+    }
+}
+
 /// Runs all four checks over an index. Findings are sorted by
-/// (file, line, class).
-pub fn analyze(ix: &Index, cfg: &Config) -> Vec<Finding> {
+/// (file, line).
+pub fn analyze(ix: &Index, cfg: &SecretFlow) -> Vec<Finding> {
     let markers: HashSet<&str> = cfg.markers.iter().map(String::as_str).collect();
     let mentions_marker = |ty: &str| ty.split_whitespace().any(|w| markers.contains(w));
 
@@ -152,15 +143,7 @@ pub fn analyze(ix: &Index, cfg: &Config) -> Vec<Finding> {
         false
     };
 
-    // Call graph by simple name.
-    let by_name: HashMap<&str, Vec<usize>> = {
-        let mut m: HashMap<&str, Vec<usize>> = HashMap::new();
-        for (i, f) in ix.fns.iter().enumerate() {
-            m.entry(f.name.as_str()).or_default().push(i);
-        }
-        m
-    };
-    let calls: Vec<Vec<(String, u32)>> = ix.fns.iter().map(|f| call_sites(&f.body)).collect();
+    let cg = CallGraph::build(ix);
 
     // Vartime family: every *_vartime / ct-vartime fn name.
     let vartime_names: HashSet<&str> = ix
@@ -173,50 +156,32 @@ pub fn analyze(ix: &Index, cfg: &Config) -> Vec<Finding> {
     // Reachability: BFS from secret contexts through the call graph.
     // Edges out of vartime-family functions are not followed — their
     // bodies are the audited boundary.
-    let mut reachable: Vec<bool> = ix.fns.iter().map(is_secret).collect();
-    let mut work: Vec<usize> = reachable
-        .iter()
-        .enumerate()
-        .filter_map(|(i, &r)| r.then_some(i))
-        .collect();
-    while let Some(i) = work.pop() {
-        if ix.fns[i].vartime {
-            continue;
-        }
-        for (callee, _) in &calls[i] {
-            if let Some(targets) = by_name.get(callee.as_str()) {
-                for &t in targets {
-                    if !reachable[t] {
-                        reachable[t] = true;
-                        work.push(t);
-                    }
-                }
-            }
-        }
-    }
+    let reach = cg.reach(ix, is_secret, |f| !f.vartime);
 
     let mut findings = Vec::new();
 
     // Class 1: vartime calls from the secret-reachable set.
     for (i, f) in ix.fns.iter().enumerate() {
-        if !reachable[i] || f.vartime {
+        if !reach.reachable[i] || f.vartime {
             continue;
         }
-        for (callee, line) in &calls[i] {
+        for (callee, line) in &cg.calls[i] {
             let is_vartime_call =
                 callee.ends_with("_vartime") || vartime_names.contains(callee.as_str());
             if is_vartime_call {
-                findings.push(Finding {
-                    file: ix.files[f.file].clone(),
-                    line: *line,
-                    class: Class::VartimeCall,
-                    context: f.qual.clone(),
-                    ident: callee.clone(),
-                    message: format!(
+                let mut out = finding(
+                    &ix.files[f.file],
+                    *line,
+                    "vartime-call",
+                    &f.qual,
+                    callee,
+                    format!(
                         "`{}` calls variable-time `{}` while reachable from a secret context",
                         f.qual, callee
                     ),
-                });
+                );
+                out.chain = reach.chain(ix, i);
+                findings.push(out);
             }
         }
     }
@@ -261,100 +226,32 @@ pub fn analyze(ix: &Index, cfg: &Config) -> Vec<Finding> {
             .find(|f| !self_wiping(&f.ty))
             .map(|f| f.name.clone())
             .unwrap_or_default();
-        findings.push(Finding {
-            file: ix.files[s.file].clone(),
-            line: s.line,
-            class: Class::MissingZeroize,
-            context: s.name.clone(),
-            ident: culprit.clone(),
-            message: format!(
+        findings.push(finding(
+            &ix.files[s.file],
+            s.line,
+            "missing-zeroize",
+            &s.name,
+            &culprit,
+            format!(
                 "struct `{}` holds secret field `{}` but has no Drop/Zeroize impl",
                 s.name, culprit
             ),
-        });
+        ));
     }
 
     // A `nonct-eq` on a line shadows the `secret-branch` the same
     // condition would also raise — keep the more specific class.
     let eq_lines: HashSet<(String, u32)> = findings
         .iter()
-        .filter(|f| f.class == Class::NonCtEq)
+        .filter(|f| f.class == "nonct-eq")
         .map(|f| (f.file.clone(), f.line))
         .collect();
-    findings.retain(|f| {
-        f.class != Class::SecretBranch || !eq_lines.contains(&(f.file.clone(), f.line))
-    });
+    findings
+        .retain(|f| f.class != "secret-branch" || !eq_lines.contains(&(f.file.clone(), f.line)));
 
     findings.sort();
     findings.dedup();
     findings
-}
-
-/// Extracts `(callee simple name, line)` pairs from body tokens: an
-/// identifier directly followed by `(`, or via turbofish `::<T>(`.
-/// Macro invocations (`name!(…)`) are not calls, but their arguments
-/// are scanned like any other tokens.
-fn call_sites(body: &[Tok]) -> Vec<(String, u32)> {
-    let sig: Vec<&Tok> = body.iter().filter(|t| !t.is_comment()).collect();
-    let mut out = Vec::new();
-    for (i, t) in sig.iter().enumerate() {
-        if t.kind != TokKind::Ident {
-            continue;
-        }
-        // Keywords never name calls.
-        if matches!(
-            t.text.as_str(),
-            "if" | "while"
-                | "match"
-                | "for"
-                | "return"
-                | "let"
-                | "fn"
-                | "move"
-                | "in"
-                | "as"
-                | "loop"
-                | "else"
-                | "break"
-                | "continue"
-                | "unsafe"
-                | "mut"
-                | "ref"
-                | "where"
-        ) {
-            continue;
-        }
-        let mut j = i + 1;
-        // `name!` is a macro, not a call.
-        if sig.get(j).map(|n| n.is_punct("!")).unwrap_or(false) {
-            continue;
-        }
-        // Turbofish: name::<...>(
-        if sig.get(j).map(|n| n.is_punct("::")).unwrap_or(false)
-            && sig.get(j + 1).map(|n| n.is_punct("<")).unwrap_or(false)
-        {
-            let mut depth = 0i32;
-            let mut k = j + 1;
-            while k < sig.len() {
-                if sig[k].is_punct("<") {
-                    depth += 1;
-                } else if sig[k].is_punct(">") || sig[k].is_punct(">>") {
-                    depth -= if sig[k].is_punct(">>") { 2 } else { 1 };
-                    if depth <= 0 {
-                        break;
-                    }
-                }
-                k += 1;
-            }
-            j = k + 1;
-        }
-        if sig.get(j).map(|n| n.is_punct("(")).unwrap_or(false) {
-            // Skip path prefixes: in `a::b(…)` only `b` is the callee;
-            // `i` already points at the segment before `(`.
-            out.push((t.text.clone(), t.line));
-        }
-    }
-    out
 }
 
 /// The tainted binding names visible in a function body.
@@ -463,17 +360,17 @@ fn scan_body(f: &FnItem, file: &str, tainted: &BTreeSet<String>, findings: &mut 
                 j += 1;
             }
             if let Some(c) = culprit {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: c.line,
-                    class: Class::SecretBranch,
-                    context: f.qual.clone(),
-                    ident: c.text.clone(),
-                    message: format!(
+                findings.push(finding(
+                    file,
+                    c.line,
+                    "secret-branch",
+                    &f.qual,
+                    &c.text,
+                    format!(
                         "`{}` branches (`{}`) on secret-derived `{}`",
                         f.qual, t.text, c.text
                     ),
-                });
+                ));
             }
             i = j;
             continue;
@@ -503,17 +400,17 @@ fn scan_body(f: &FnItem, file: &str, tainted: &BTreeSet<String>, findings: &mut 
                     j += 1;
                 }
                 if let Some(c) = culprit {
-                    findings.push(Finding {
-                        file: file.to_string(),
-                        line: c.line,
-                        class: Class::SecretBranch,
-                        context: f.qual.clone(),
-                        ident: c.text.clone(),
-                        message: format!(
+                    findings.push(finding(
+                        file,
+                        c.line,
+                        "secret-branch",
+                        &f.qual,
+                        &c.text,
+                        format!(
                             "`{}` indexes by secret-derived `{}` (cache-line leak)",
                             f.qual, c.text
                         ),
-                    });
+                    ));
                     i = j;
                     continue;
                 }
@@ -524,17 +421,17 @@ fn scan_body(f: &FnItem, file: &str, tainted: &BTreeSet<String>, findings: &mut 
             let lo = i.saturating_sub(6);
             let hi = (i + 7).min(sig.len());
             if let Some(c) = sig[lo..hi].iter().find(|s| is_tainted(s)) {
-                findings.push(Finding {
-                    file: file.to_string(),
-                    line: t.line,
-                    class: Class::NonCtEq,
-                    context: f.qual.clone(),
-                    ident: c.text.clone(),
-                    message: format!(
+                findings.push(finding(
+                    file,
+                    t.line,
+                    "nonct-eq",
+                    &f.qual,
+                    &c.text,
+                    format!(
                         "`{}` compares secret-derived `{}` with `{}` (use ecq_crypto::ct::eq)",
                         f.qual, c.text, t.text
                     ),
-                });
+                ));
             }
         }
         i += 1;
@@ -556,25 +453,27 @@ mod tests {
     fn run(src: &str) -> Vec<Finding> {
         let mut ix = Index::default();
         ix.add_file("t.rs", src);
-        analyze(&ix, &Config::default())
+        analyze(&ix, &SecretFlow::default())
     }
 
     #[test]
     fn flags_vartime_call_from_secret_context() {
         let f = run("fn mul_vartime(k: u8) {}\nfn sign(d: &Scalar) { mul_vartime(3); }\n");
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0].class, Class::VartimeCall);
+        assert_eq!(f[0].class, "vartime-call");
         assert_eq!(f[0].context, "sign");
+        assert_eq!(f[0].chain, vec!["sign"]);
     }
 
     #[test]
-    fn flags_transitive_vartime_reachability() {
+    fn flags_transitive_vartime_reachability_with_chain() {
         let f = run(
             "fn mul_vartime(k: u8) {}\nfn helper(x: u8) { mul_vartime(x); }\n\
              fn sign(d: &Scalar) { helper(1); }\n",
         );
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].context, "helper");
+        assert_eq!(f[0].chain, vec!["sign", "helper"]);
     }
 
     #[test]
@@ -591,14 +490,14 @@ mod tests {
                  table[k.low_bits()]\n\
              }\n");
         assert_eq!(f.len(), 2);
-        assert!(f.iter().all(|x| x.class == Class::SecretBranch));
+        assert!(f.iter().all(|x| x.class == "secret-branch"));
     }
 
     #[test]
     fn flags_nonct_eq_not_branch_on_same_line() {
         let f = run("fn check(pm: &Zeroizing<[u8; 32]>, other: &[u8; 32]) -> bool { pm.as_ref() == other }\n");
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0].class, Class::NonCtEq);
+        assert_eq!(f[0].class, "nonct-eq");
     }
 
     #[test]
@@ -613,7 +512,7 @@ mod tests {
     fn flags_ct_secret_field_without_wipe() {
         let f = run("struct Premaster {\n    // ct-secret\n    bytes: [u8; 32],\n}\n");
         assert_eq!(f.len(), 1);
-        assert_eq!(f[0].class, Class::MissingZeroize);
+        assert_eq!(f[0].class, "missing-zeroize");
         assert_eq!(f[0].context, "Premaster");
     }
 
@@ -626,6 +525,6 @@ mod tests {
              }\n// ct-secret\nfn expand(s: &[u8]) -> u8 { 0 }\n");
         assert!(f
             .iter()
-            .any(|x| x.class == Class::SecretBranch && x.ident == "k"));
+            .any(|x| x.class == "secret-branch" && x.ident == "k"));
     }
 }

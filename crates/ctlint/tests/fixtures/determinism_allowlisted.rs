@@ -1,0 +1,13 @@
+//! Allowlist fixture for the determinism pass: `poll`'s wall-clock
+//! read is covered by `determinism_allow.toml`; `drain`'s `HashMap`
+//! is not and must stay unsuppressed. The allowlist also carries a
+//! deliberately stale entry (`removed_function`).
+impl SharedBus {
+    fn poll(&self) {
+        let t = Instant::now();
+    }
+
+    fn drain(&self) {
+        let m: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,22 @@
+//! Clean determinism fixture: the same roots, but ordered containers,
+//! seeded randomness and the virtual clock — plus a `HashMap` in a
+//! function *outside* the report-affecting cone, which must stay
+//! silent (the pass is reachability-scoped, not a grep).
+fn run_worker(seed: u64) {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut rng = HmacDrbg::from_seed(seed);
+    let now = virtual_now();
+    helper(now);
+}
+
+fn virtual_now() -> u64 {
+    0
+}
+
+fn helper(now: u64) {
+    let _ = now;
+}
+
+fn unrelated_tooling() {
+    let cache: HashMap<u32, u32> = HashMap::new();
+}

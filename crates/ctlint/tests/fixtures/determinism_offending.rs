@@ -1,0 +1,21 @@
+//! Determinism fixture: one of every finding class, seeded from the
+//! report-affecting roots (`run_worker` by name, a `SharedBus` method
+//! by type) with one transitively reached helper.
+fn run_worker() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+    let id = thread::current().id();
+    let v = env::var("ECQ_THREADS");
+    let r = thread_rng();
+    helper(b"x");
+}
+
+fn helper(buf: &[u8]) {
+    let key = buf.as_ptr() as usize;
+}
+
+impl SharedBus {
+    fn arbitrate(&self) {
+        let tid = ThreadId::default();
+    }
+}

@@ -1,0 +1,9 @@
+//! Allowlist fixture for the panic-reach pass: `step`'s indexing is
+//! covered by `panic_allow.toml`; its `unwrap` is not and must stay
+//! unsuppressed. The allowlist also carries a deliberately stale
+//! entry (`removed_function`).
+fn step(xs: Vec<u8>, i: usize) -> u8 {
+    let a = xs[i];
+    let b = xs.first().unwrap();
+    a + b
+}

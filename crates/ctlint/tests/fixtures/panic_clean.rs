@@ -1,0 +1,15 @@
+//! Clean panic-reach fixture: the same shape as the offending one,
+//! but every operation fails closed — `get`, `unwrap_or`, clamped
+//! divisors, literal divisions — and the panicking helper sits
+//! *outside* the hot-path cone.
+fn run_sweep(items: Vec<u32>, n: usize) -> u32 {
+    let head = items.first().copied().unwrap_or(0);
+    let picked = items.get(n).copied().unwrap_or_default();
+    let divisor = n.max(1);
+    let quarter = 100 / 4;
+    head + picked + quarter
+}
+
+fn unreached_tooling() {
+    panic!("never on the hot path");
+}

@@ -1,0 +1,16 @@
+//! Panic-reach fixture: one of every finding class inside the
+//! `run_sweep` root, plus a transitively reached panicking helper.
+fn run_sweep(items: Vec<u32>, n: usize) -> u32 {
+    let head = items.first().unwrap();
+    let tail = items.last().expect("nonempty");
+    if n > 9000 {
+        panic!("too many sessions");
+    }
+    let picked = items[n];
+    let ratio = *head / n as u32;
+    helper(picked + ratio + *tail)
+}
+
+fn helper(x: u32) -> u32 {
+    unreachable!("reached via run_sweep")
+}

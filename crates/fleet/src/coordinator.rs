@@ -55,6 +55,18 @@ impl Default for FleetConfig {
     }
 }
 
+/// Per-pair sweep material prepared at session creation, index-aligned
+/// with the coordinator's sessions: the wire seed plus the credential
+/// clones and presets the interleaved sweep moves into its endpoints
+/// (so the sweep never has to look devices up again).
+struct PairMaterial {
+    seed: [u8; 32],
+    creds_a: Credentials,
+    creds_b: Credentials,
+    preset_a: DevicePreset,
+    preset_b: DevicePreset,
+}
+
 /// One managed pair session between two enrolled devices of the same
 /// shard.
 pub struct PairSession {
@@ -309,31 +321,47 @@ impl FleetCoordinator {
     /// one managed session per pair; per-pair seeds are drawn from the
     /// session DRBG in session-index order (so RNG streams do not
     /// depend on how a later sweep shards work across threads).
-    /// Returns the per-pair seeds.
+    /// Returns the per-pair sweep material (seed, credential clones and
+    /// presets), index-aligned with `self.sessions`.
     ///
     /// # Panics
     ///
     /// Panics when sessions already exist: each coordinator runs
     /// exactly one establishment sweep (atomic or interleaved).
-    fn create_sessions(&mut self) -> Vec<[u8; 32]> {
+    fn create_sessions(&mut self) -> Vec<PairMaterial> {
         assert!(
             self.sessions.is_empty(),
             "an establishment sweep runs once per coordinator"
         );
         let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.pool.shard_count()];
         for d in &self.devices {
-            if d.is_enrolled() {
-                by_shard[d.shard].push(d.index);
+            if let Some(list) = by_shard.get_mut(d.shard) {
+                if d.is_enrolled() {
+                    list.push(d.index);
+                }
             }
         }
-        let mut seeds = Vec::new();
+        let mut material = Vec::new();
         for list in &by_shard {
             for pair in list.chunks_exact(2) {
                 let (a, b) = (pair[0], pair[1]);
+                // Draw the seed before any fail-closed skip so later
+                // pairs keep their RNG streams either way.
                 let pair_seed = self.session_rng.bytes32();
+                let creds = |i: usize| {
+                    self.devices
+                        .get(i)
+                        .and_then(|d| d.credentials.clone().map(|c| (c, d.preset)))
+                };
+                let (Some((creds_a, preset_a)), Some((creds_b, preset_b))) = (creds(a), creds(b))
+                else {
+                    // Unreachable for `by_shard` pairs (enrollment
+                    // checked above); skip the pair rather than panic.
+                    continue;
+                };
                 let manager = SessionManager::new(
-                    self.devices[a].credentials.clone().expect("enrolled"),
-                    self.devices[b].credentials.clone().expect("enrolled"),
+                    creds_a.clone(),
+                    creds_b.clone(),
                     self.config.rekey,
                     StsConfig {
                         now: self.config.valid_from,
@@ -348,26 +376,33 @@ impl FleetCoordinator {
                     last_key: None,
                     failure: None,
                 });
-                seeds.push(pair_seed);
+                material.push(PairMaterial {
+                    seed: pair_seed,
+                    creds_a,
+                    creds_b,
+                    preset_a,
+                    preset_b,
+                });
             }
         }
         self.report.sessions = self.sessions.len();
-        seeds
+        material
     }
 
     /// Whether either participant of `session` holds a revoked
-    /// certificate.
+    /// certificate. A participant whose revocation status cannot be
+    /// checked (missing roster entry or credentials — unreachable for
+    /// sessions built by [`Self::create_sessions`]) is treated as
+    /// revoked: the denial is the fail-closed outcome.
     fn session_revoked(&self, session: usize) -> bool {
-        let serial = |i: usize| {
-            self.devices[i]
-                .credentials
-                .as_ref()
-                .expect("enrolled")
-                .cert
-                .serial
+        let revoked = |i: usize| match self.devices.get(i).and_then(|d| d.credentials.as_ref()) {
+            Some(c) => self.crl.is_revoked(c.cert.serial),
+            None => true,
         };
-        let s = &self.sessions[session];
-        self.crl.is_revoked(serial(s.a)) || self.crl.is_revoked(serial(s.b))
+        match self.sessions.get(session) {
+            Some(s) => revoked(s.a) || revoked(s.b),
+            None => true,
+        }
     }
 
     /// Pairs devices like [`Self::handshake_sweep`] and establishes
@@ -393,26 +428,26 @@ impl FleetCoordinator {
     ///
     /// Panics when called after another establishment sweep.
     pub fn interleaved_sweep(&mut self, opts: &SweepOptions) -> Result<(), FleetError> {
-        let seeds = self.create_sessions();
+        let material = self.create_sessions();
         let now = self.config.valid_from;
         let denied: Vec<bool> = (0..self.sessions.len())
             .map(|index| self.session_revoked(index))
             .collect();
-        let work: Vec<SessionWork> = self
-            .sessions
-            .iter()
-            .zip(&seeds)
+        let work: Vec<SessionWork> = material
+            .into_iter()
             .enumerate()
-            .map(|(index, (s, seed))| SessionWork {
+            .map(|(index, m)| SessionWork {
                 index,
-                creds_a: self.devices[s.a].credentials.clone().expect("enrolled"),
-                creds_b: self.devices[s.b].credentials.clone().expect("enrolled"),
-                preset_a: self.devices[s.a].preset,
-                preset_b: self.devices[s.b].preset,
-                wire_seed: *seed,
+                creds_a: m.creds_a,
+                creds_b: m.creds_b,
+                preset_a: m.preset_a,
+                preset_b: m.preset_b,
+                wire_seed: m.seed,
                 now,
                 variant: self.config.variant,
-                denied: denied[index],
+                // A session with no recorded denial verdict is denied
+                // (fail closed); unreachable for index-aligned work.
+                denied: denied.get(index).copied().unwrap_or(true),
             })
             .collect();
 
@@ -435,29 +470,47 @@ impl FleetCoordinator {
         let mut makespan: VirtualTime = 0;
         let mut first_failure: Option<FleetError> = None;
         for (index, result) in results.into_iter().enumerate() {
-            let session = &mut self.sessions[index];
+            let Some(session) = self.sessions.get_mut(index) else {
+                // A result for a session that does not exist: nothing
+                // to record it on (unreachable for index-aligned work).
+                continue;
+            };
             digest.update(&(index as u64).to_be_bytes());
-            if denied[index] {
+            // A session's outcome: denial beats everything, then the
+            // sweep's typed failure, then the key. A "completed"
+            // session without a key lost its state somewhere — it
+            // fails closed as poisoned instead of panicking.
+            let failure = if denied.get(index).copied().unwrap_or(true) {
+                self.report.denied_revoked += 1;
                 session.failure = Some(FleetError::Protocol(ProtocolError::Cert(
                     CertError::Revoked,
                 )));
-                self.report.denied_revoked += 1;
                 digest.update(b"denied:revoked");
+                None
             } else if let Some(err) = result.failure {
+                Some(err)
+            } else if let Some(key) = result.key {
+                session.last_key = Some(key);
+                digest.update(key.as_bytes());
+                self.report.handshakes += 1;
+                None
+            } else {
+                Some(ProtocolError::Poisoned)
+            };
+            if let Some(err) = failure {
                 session.failure = Some(FleetError::Protocol(err));
                 first_failure.get_or_insert(FleetError::Protocol(err));
                 if err == ProtocolError::Timeout {
                     self.report.timeouts += 1;
+                }
+                if err == ProtocolError::Poisoned {
+                    self.report.poisoned += 1;
                 }
                 // The failure *mode* is part of the determinism
                 // witness: a run that times out where another saw an
                 // authentication failure must not digest equal.
                 digest.update(b"failed:");
                 digest.update(err.to_string().as_bytes());
-            } else {
-                session.last_key = Some(result.key.expect("completed sessions carry a key"));
-                digest.update(result.key.expect("checked").as_bytes());
-                self.report.handshakes += 1;
             }
             makespan = makespan.max(result.end_us);
             self.report.messages += result.messages;

@@ -110,6 +110,13 @@ pub struct SweepOptions {
     pub faults: FaultSpec,
     /// Optional mid-sweep revocation with a stale-CRL window.
     pub revocation: Option<RevocationSpec>,
+    /// Chaos hook: the worker drops the state of the session with this
+    /// global index before its kickoff. The session must fail closed
+    /// with [`ProtocolError::Poisoned`] (counted in
+    /// [`crate::FleetReport::poisoned`]) while the rest of the fleet
+    /// completes — the regression harness for the sweep's
+    /// no-panic contract.
+    pub poison: Option<usize>,
 }
 
 impl Default for SweepOptions {
@@ -120,6 +127,7 @@ impl Default for SweepOptions {
             transport: TransportKind::Simnet,
             faults: FaultSpec::none(),
             revocation: None,
+            poison: None,
         }
     }
 }
@@ -194,6 +202,9 @@ pub(crate) struct WorkerConfig {
     pub revocation: Option<RevocationSpec>,
     /// Total sessions in the sweep (bounds the width of the last bus).
     pub total: usize,
+    /// Test hook: drop the state of the session with this global index
+    /// before its kickoff, exercising the fail-closed poisoned path.
+    pub poison: Option<usize>,
 }
 
 /// The wire under one session: private (owned transport) or a slot on
@@ -450,6 +461,10 @@ pub(crate) fn run_worker(
     }
 
     let mut live: Vec<Option<Live>> = Vec::with_capacity(work.len());
+    // Slots whose state was lost while events were still due for them.
+    // A poisoned slot fails closed as `ProtocolError::Poisoned` instead
+    // of aborting the whole worker.
+    let mut poisoned: Vec<bool> = vec![false; work.len()];
     let mut log: Vec<DeliveryRecord> = Vec::new();
     let mut scheduler = LaneScheduler::new();
     // Buses this worker owns, and (bus, bus slot) → local `live` slot.
@@ -489,13 +504,31 @@ pub(crate) fn run_worker(
             live.push(None);
             continue;
         }
+        if cfg.poison == Some(w.index) {
+            // Test hook: the session's state is gone but its kickoff
+            // still fires, driving the fail-closed branch below.
+            live.push(None);
+            scheduler.schedule(0, w.index as u64, Event::Kickoff { slot });
+            continue;
+        }
         let link = match shared {
             Some((bus, bus_id, bus_slot)) => Link::Shared {
                 bus,
                 bus_id,
                 slot: bus_slot,
             },
-            None => Link::Private(make_transport(&cfg.transport, &w)),
+            None => match make_transport(&cfg.transport, &w) {
+                Some(t) => Link::Private(t),
+                None => {
+                    // A shared-bus session that failed to register a
+                    // bus slot cannot be simulated; fail it closed.
+                    if let Some(p) = poisoned.get_mut(slot) {
+                        *p = true;
+                    }
+                    live.push(None);
+                    continue;
+                }
+            },
         };
         // Mirror `ecq_sts::establish`: one stream per role, initiator
         // first, derived from the pair's wire seed.
@@ -528,7 +561,15 @@ pub(crate) fn run_worker(
         }
         match event {
             Event::Kickoff { slot } => {
-                let session = live[slot].as_mut().expect("kickoff only for live slots");
+                let Some(session) = live.get_mut(slot).and_then(Option::as_mut) else {
+                    // State for this slot is gone (broken scheduler
+                    // invariant or the poison hook): fail it closed
+                    // instead of aborting the worker.
+                    if let Some(p) = poisoned.get_mut(slot) {
+                        *p = true;
+                    }
+                    continue;
+                };
                 session.last_event_us = now;
                 match session.step(Role::Initiator, None, now) {
                     Ok((StepOutput::Send(msg), done_at)) => {
@@ -539,7 +580,14 @@ pub(crate) fn run_worker(
                 }
             }
             Event::Deliver { slot, to } => {
-                let session = live[slot].as_mut().expect("deliveries only for live slots");
+                let Some(session) = live.get_mut(slot).and_then(Option::as_mut) else {
+                    // A delivery for a vanished session: fail the slot
+                    // closed, drop the message on the floor.
+                    if let Some(p) = poisoned.get_mut(slot) {
+                        *p = true;
+                    }
+                    continue;
+                };
                 if session.done {
                     continue;
                 }
@@ -595,18 +643,25 @@ pub(crate) fn run_worker(
                 }
             }
             Event::BusAdvance { bus } => {
-                let rc = buses
-                    .get(&bus)
-                    .expect("advance only for owned buses")
-                    .clone();
+                let Some(rc) = buses.get(&bus).map(Rc::clone) else {
+                    // An advance for a bus this worker does not own:
+                    // skip it — its sessions (if any) resolve through
+                    // the fail-closed timeout backstop below.
+                    continue;
+                };
                 let due = rc.borrow_mut().process(now);
                 for d in due {
-                    let &slot = slot_of
-                        .get(&(bus, d.slot))
-                        .expect("bus delivery for a registered slot");
+                    let Some(&slot) = slot_of.get(&(bus, d.slot)) else {
+                        // An unregistered bus slot cannot be routed;
+                        // its session fails closed at the deadline.
+                        continue;
+                    };
                     // Denied sessions never transmit, so nothing is
                     // ever due for them; route on the session's lane.
-                    let lane = live[slot].as_ref().map_or(0, |l| l.index as u64);
+                    let lane = live
+                        .get(slot)
+                        .and_then(Option::as_ref)
+                        .map_or(0, |l| l.index as u64);
                     scheduler.schedule(d.at_us, lane, Event::Deliver { slot, to: d.to });
                 }
                 // `next_activity_us` is strictly beyond `now` once
@@ -636,8 +691,14 @@ pub(crate) fn run_worker(
 
     let results = live
         .into_iter()
-        .map(|slot| match slot {
+        .zip(poisoned)
+        .map(|(slot, was_poisoned)| match slot {
             Some(l) => l.result,
+            None if was_poisoned => {
+                let mut r = SessionResult::empty();
+                r.failure = Some(ProtocolError::Poisoned);
+                r
+            }
             // The coordinator records the CRL denial itself.
             None => SessionResult::empty(),
         })
@@ -676,17 +737,19 @@ fn assert_complete_buses(work: &[SessionWork], group: usize, total: usize) {
     }
 }
 
-fn make_transport(kind: &TransportKind, work: &SessionWork) -> Box<dyn Transport> {
+/// Builds a private per-session transport. Returns `None` under a
+/// shared-bus transport: those sessions ride `Link::Shared`, and a
+/// caller that reaches this without a registered bus slot must fail
+/// the session closed rather than abort.
+fn make_transport(kind: &TransportKind, work: &SessionWork) -> Option<Box<dyn Transport>> {
     match kind {
-        TransportKind::Channel { latency_us } => Box::new(ChannelTransport::new(*latency_us)),
-        TransportKind::Simnet => Box::new(CanLink::for_pair(
+        TransportKind::Channel { latency_us } => Some(Box::new(ChannelTransport::new(*latency_us))),
+        TransportKind::Simnet => Some(Box::new(CanLink::for_pair(
             (work.index & 0xFFFF) as u16,
             &work.preset_a.profile(),
             &work.preset_b.profile(),
-        )),
-        TransportKind::SharedBus { .. } => {
-            unreachable!("shared-bus sessions ride Link::Shared, not a private transport")
-        }
+        ))),
+        TransportKind::SharedBus { .. } => None,
     }
 }
 
@@ -717,6 +780,7 @@ pub(crate) fn run_sweep(
         faults: opts.faults,
         revocation: opts.revocation,
         total,
+        poison: opts.poison,
     };
     let bus_count = total.div_ceil(group.max(1)).max(1);
     let threads = opts.threads.max(1).min(bus_count);
@@ -729,8 +793,13 @@ pub(crate) fn run_sweep(
     let mut order: Vec<Vec<usize>> = vec![Vec::new(); threads];
     for (i, w) in work.into_iter().enumerate() {
         let t = (i / group) % threads;
-        order[t].push(i);
-        shards[t].push(w);
+        // A missing shard (impossible: t < threads) would drop the
+        // session, which then surfaces as a poisoned fail-closed
+        // result instead of a panic.
+        if let (Some(o), Some(s)) = (order.get_mut(t), shards.get_mut(t)) {
+            o.push(i);
+            s.push(w);
+        }
     }
     let mut results: Vec<Option<SessionResult>> = (0..total).map(|_| None).collect();
     let mut log: Vec<DeliveryRecord> = Vec::new();
@@ -744,7 +813,13 @@ pub(crate) fn run_sweep(
             let (shard_results, shard_log, shard_traces) =
                 handle.join().expect("sweep worker panicked");
             for (j, result) in shard_results.into_iter().enumerate() {
-                results[order[t][j]] = Some(result);
+                let dest = order
+                    .get(t)
+                    .and_then(|o| o.get(j))
+                    .and_then(|&i| results.get_mut(i));
+                if let Some(slot) = dest {
+                    *slot = Some(result);
+                }
             }
             log.extend(shard_log);
             traces.extend(shard_traces);
@@ -753,7 +828,15 @@ pub(crate) fn run_sweep(
     traces.sort_by_key(|t| t.bus);
     let results = results
         .into_iter()
-        .map(|slot| slot.expect("every session slot filled exactly once"))
+        .map(|slot| {
+            slot.unwrap_or_else(|| {
+                // A scatter bug left this slot unfilled; the session
+                // fails closed rather than aborting the sweep.
+                let mut r = SessionResult::empty();
+                r.failure = Some(ProtocolError::Poisoned);
+                r
+            })
+        })
         .collect();
     (results, log, traces)
 }
@@ -830,8 +913,29 @@ mod tests {
             faults: FaultSpec::none(),
             revocation: None,
             total: 2,
+            poison: None,
         };
         let _ = run_worker(work, cfg);
+    }
+
+    #[test]
+    fn poisoned_session_fails_closed_while_siblings_complete() {
+        let work = session_work(3);
+        let cfg = WorkerConfig {
+            transport: TransportKind::Simnet,
+            faults: FaultSpec::none(),
+            revocation: None,
+            total: 3,
+            poison: Some(1),
+        };
+        let (results, _log, _traces) = run_worker(work, cfg);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[1].failure, Some(ProtocolError::Poisoned));
+        assert!(results[1].key.is_none(), "a poisoned session has no key");
+        for i in [0usize, 2] {
+            assert!(results[i].failure.is_none(), "sibling {i} unaffected");
+            assert!(results[i].key.is_some(), "sibling {i} completes");
+        }
     }
 
     #[test]
@@ -842,6 +946,7 @@ mod tests {
             faults: FaultSpec::none(),
             revocation: None,
             total: 2,
+            poison: None,
         };
         let (results, log, traces) = run_worker(work, cfg);
         assert_eq!(results.len(), 2);
@@ -869,7 +974,7 @@ mod tests {
                     deadline_us: 30_000_000,
                     ..FaultSpec::none()
                 },
-                revocation: None,
+                ..SweepOptions::default()
             };
             let (results, _, traces) = run_sweep(session_work(4), &opts);
             let outcomes: Vec<_> = results

@@ -48,6 +48,10 @@ pub struct FleetReport {
     /// Sessions that failed closed with `ProtocolError::Timeout` at the
     /// sweep deadline (fault-injected sweeps only; 0 on a clean wire).
     pub timeouts: u64,
+    /// Sessions that failed closed with `ProtocolError::Poisoned`
+    /// because the simulation lost their state mid-sweep (broken
+    /// scheduler invariant or crashed worker; 0 on a healthy run).
+    pub poisoned: u64,
     /// Fault-engine activity summed over every shared bus in the sweep
     /// (all-zero for private links or an inactive fault spec).
     pub faults: ecq_simnet::FaultCounters,

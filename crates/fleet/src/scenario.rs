@@ -235,6 +235,7 @@ fn run_fleet(
         transport: TransportKind::SharedBus { group: GROUP },
         faults,
         revocation,
+        ..SweepOptions::default()
     };
     match fleet.interleaved_sweep(&opts) {
         Ok(()) => Ok(fleet),

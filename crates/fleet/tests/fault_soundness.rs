@@ -39,7 +39,7 @@ fn run_faulted(
         threads,
         transport: TransportKind::SharedBus { group: 2 },
         faults,
-        revocation: None,
+        ..SweepOptions::default()
     };
     // Handshake failures are the point of the exercise; the coordinator
     // still aggregates every session's outcome.

@@ -71,7 +71,7 @@ fn pinned_run() -> FleetCoordinator {
         threads: 1,
         transport: TransportKind::SharedBus { group: 2 },
         faults,
-        revocation: None,
+        ..SweepOptions::default()
     };
     // Session 1 times out (its B1 never reassembles); session 0
     // completes. Both outcomes are part of the pinned schedule.

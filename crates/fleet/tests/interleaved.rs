@@ -47,6 +47,27 @@ fn report_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
+fn poisoned_session_fails_closed_and_counts_in_report() {
+    let mut fleet = FleetCoordinator::new(config(16, 0xB015));
+    fleet.enroll_all().unwrap();
+    let err = fleet
+        .interleaved_sweep(&SweepOptions {
+            poison: Some(2),
+            ..SweepOptions::default()
+        })
+        .expect_err("a poisoned session surfaces as a sweep failure");
+    assert_eq!(
+        err,
+        FleetError::Protocol(ProtocolError::Poisoned),
+        "the typed fail-closed error, not a panic"
+    );
+    let r = fleet.report();
+    assert_eq!(r.poisoned, 1);
+    assert_eq!(r.handshakes, r.sessions - 1, "siblings complete");
+    assert!(r.key_digest.is_some(), "the report still finalizes");
+}
+
+#[test]
 fn same_seed_reproduces_and_seeds_differ() {
     let opts = SweepOptions::default();
     let a = sweep(24, 7, &opts);

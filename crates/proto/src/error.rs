@@ -29,6 +29,11 @@ pub enum ProtocolError {
     /// session keys — never acceptable silently; surfacing it is the
     /// conformance suite's core soundness check.
     KeyMismatch,
+    /// The simulation lost the session's state mid-sweep (a broken
+    /// scheduler invariant or a crashed worker). The session fails
+    /// closed — no key is reported — while the rest of the fleet
+    /// completes.
+    Poisoned,
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -43,6 +48,7 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::Stalled => write!(f, "handshake stalled"),
             ProtocolError::Timeout => write!(f, "handshake timed out"),
             ProtocolError::KeyMismatch => write!(f, "session keys disagree"),
+            ProtocolError::Poisoned => write!(f, "session state lost mid-sweep; failed closed"),
         }
     }
 }

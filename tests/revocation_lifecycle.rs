@@ -112,6 +112,7 @@ fn window_sweep(window_end_us: Option<u64>) -> FleetCoordinator {
             at_us: 0,
             propagation_us: end,
         }),
+        ..SweepOptions::default()
     };
     let _ = fleet.interleaved_sweep(&opts);
     fleet
