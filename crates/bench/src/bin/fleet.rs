@@ -106,13 +106,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn config(args: &Args) -> FleetConfig {
-    FleetConfig {
-        devices: args.devices,
-        ca_shards: args.shards,
-        enroll_batch: args.batch,
-        seed: args.seed,
-        ..FleetConfig::default()
-    }
+    FleetConfig::new()
+        .devices(args.devices)
+        .ca_shards(args.shards)
+        .enroll_batch(args.batch)
+        .seed(args.seed)
 }
 
 /// One interleaved establishment sweep; returns the report and the
@@ -122,11 +120,11 @@ fn interleaved_run(args: &Args, threads: usize) -> (FleetReport, f64) {
     fleet.enroll_all().expect("enrollment");
     let t = Instant::now();
     fleet
-        .interleaved_sweep(&SweepOptions {
-            threads,
-            transport: TransportKind::Simnet,
-            ..SweepOptions::default()
-        })
+        .interleaved_sweep(
+            &SweepOptions::new()
+                .threads(threads)
+                .transport(TransportKind::Simnet),
+        )
         .expect("interleaved sweep");
     (fleet.report().clone(), t.elapsed().as_secs_f64())
 }
@@ -421,10 +419,7 @@ fn full_run(args: &Args) -> ExitCode {
 /// Runs the lifecycle on a fleet where every device simulates `preset`
 /// (the roster's round-robin is collapsed by overriding the presets).
 fn homogeneous_sweep(args: &Args, preset: DevicePreset) -> FleetReport {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        seed: args.seed ^ preset as u64,
-        ..config(args)
-    });
+    let mut fleet = FleetCoordinator::new(config(args).seed(args.seed ^ preset as u64));
     fleet.set_preset_all(preset);
     fleet.run_lifecycle(args.epochs).expect("lifecycle");
     fleet.report().clone()

@@ -87,6 +87,14 @@ impl CertificateAuthority {
         self.keys.public
     }
 
+    /// Signs a serialized revocation list with the CA's long-term key
+    /// (deterministic RFC 6979 ECDSA), so relying parties fetching the
+    /// CRL from an untrusted channel — the service daemon's
+    /// `CrlResponse` frame — can authenticate it against `Q_CA`.
+    pub fn sign_revocation_list(&self, crl_bytes: &[u8]) -> ecq_p256::ecdsa::Signature {
+        ecq_p256::ecdsa::sign(&self.keys.private, crl_bytes)
+    }
+
     /// Issues an implicit certificate for `request` (SEC4 §2.4 "Cert
     /// Generate"):
     ///

@@ -65,12 +65,12 @@ fn drive_transport(
         panic!("initiator must open");
     };
     wire.push(a1.encode());
-    link.send(Role::Initiator, a1, now);
+    link.send_frame(Role::Initiator, a1, now).unwrap();
 
     let mut to = Role::Responder;
     while let Some(at) = link.next_delivery(to) {
         now = at;
-        let msg = link.recv(to, now).unwrap();
+        let msg = link.recv_frame(to, now, now).unwrap().unwrap();
         match (if to == Role::Responder {
             bob.step(Some(&msg))
         } else {
@@ -80,7 +80,7 @@ fn drive_transport(
         {
             StepOutput::Send(reply) => {
                 wire.push(reply.encode());
-                link.send(to, reply, now);
+                link.send_frame(to, reply, now).unwrap();
                 to = to.peer();
             }
             StepOutput::Established | StepOutput::Wait => break,

@@ -49,8 +49,15 @@ pub const NAME: &str = "panic-reach";
 pub const CLASSES: &[&str] = &["panic-unwrap", "panic-macro", "panic-index", "panic-div"];
 
 /// Hot-path root functions (simple names). `step` covers every
-/// `Endpoint::step` implementation.
-pub const ROOT_FNS: &[&str] = &["interleaved_sweep", "run_sweep", "run_worker", "step"];
+/// `Endpoint::step` implementation; `handle_connection` is the service
+/// daemon's per-connection worker, which faces untrusted socket bytes.
+pub const ROOT_FNS: &[&str] = &[
+    "interleaved_sweep",
+    "run_sweep",
+    "run_worker",
+    "step",
+    "handle_connection",
+];
 
 /// The panic-reachability pass.
 pub struct PanicReach;

@@ -18,7 +18,13 @@ use ecq_sts::{RekeyPolicy, SessionManager, StsConfig, StsVariant};
 /// Parameters of a fleet run. Everything — device count, sharding,
 /// batching, validity, rekey policy — is explicit so a `(config, seed)`
 /// pair fully determines the run.
+///
+/// The struct is `#[non_exhaustive]`: build one with
+/// [`FleetConfig::new`] (or `default()`) and refine it with the
+/// builder methods, e.g.
+/// `FleetConfig::new().devices(64).seed(7).variant(StsVariant::OptimizationII)`.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct FleetConfig {
     /// Devices in the roster.
     pub devices: usize,
@@ -52,6 +58,64 @@ impl Default for FleetConfig {
             variant: StsVariant::Conventional,
             seed: 0xF1EE7,
         }
+    }
+}
+
+impl FleetConfig {
+    /// The default configuration, as a builder starting point.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the roster size.
+    #[must_use]
+    pub fn devices(mut self, devices: usize) -> Self {
+        self.devices = devices;
+        self
+    }
+
+    /// Sets the number of independent CA shards.
+    #[must_use]
+    pub fn ca_shards(mut self, ca_shards: usize) -> Self {
+        self.ca_shards = ca_shards;
+        self
+    }
+
+    /// Sets the issuance batch size.
+    #[must_use]
+    pub fn enroll_batch(mut self, enroll_batch: usize) -> Self {
+        self.enroll_batch = enroll_batch;
+        self
+    }
+
+    /// Sets the certificate validity window.
+    #[must_use]
+    pub fn validity(mut self, valid_from: u32, valid_to: u32) -> Self {
+        self.valid_from = valid_from;
+        self.valid_to = valid_to;
+        self
+    }
+
+    /// Sets the rekey policy.
+    #[must_use]
+    pub fn rekey(mut self, rekey: RekeyPolicy) -> Self {
+        self.rekey = rekey;
+        self
+    }
+
+    /// Sets the STS execution-schedule variant.
+    #[must_use]
+    pub fn variant(mut self, variant: StsVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -117,7 +181,7 @@ enum SessionEvent {
 /// ```
 /// use ecq_fleet::{FleetConfig, FleetCoordinator};
 ///
-/// let config = FleetConfig { devices: 16, ca_shards: 2, ..FleetConfig::default() };
+/// let config = FleetConfig::new().devices(16).ca_shards(2);
 /// let mut fleet = FleetCoordinator::new(config);
 /// let report = fleet.run_lifecycle(2).unwrap();
 /// assert_eq!(report.enrolled, 16);
@@ -679,13 +743,11 @@ mod tests {
     use super::*;
 
     fn small_config() -> FleetConfig {
-        FleetConfig {
-            devices: 24,
-            ca_shards: 3,
-            enroll_batch: 5,
-            seed: 0xABCD,
-            ..FleetConfig::default()
-        }
+        FleetConfig::new()
+            .devices(24)
+            .ca_shards(3)
+            .enroll_batch(5)
+            .seed(0xABCD)
     }
 
     #[test]
@@ -744,10 +806,7 @@ mod tests {
     #[test]
     fn runs_are_reproducible_from_the_seed() {
         let run = |seed| {
-            let mut fleet = FleetCoordinator::new(FleetConfig {
-                seed,
-                ..small_config()
-            });
+            let mut fleet = FleetCoordinator::new(small_config().seed(seed));
             fleet.run_lifecycle(1).unwrap();
             let keys: Vec<[u8; 32]> = fleet
                 .sessions()
@@ -767,13 +826,13 @@ mod tests {
     #[test]
     fn sharding_speeds_up_virtual_enrollment() {
         let run = |shards| {
-            let mut fleet = FleetCoordinator::new(FleetConfig {
-                devices: 32,
-                ca_shards: shards,
-                enroll_batch: 4,
-                seed: 1,
-                ..FleetConfig::default()
-            });
+            let mut fleet = FleetCoordinator::new(
+                FleetConfig::new()
+                    .devices(32)
+                    .ca_shards(shards)
+                    .enroll_batch(4)
+                    .seed(1),
+            );
             fleet.enroll_all().unwrap();
             fleet.report().enroll_makespan_us
         };

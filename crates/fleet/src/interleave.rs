@@ -53,6 +53,7 @@ use ecq_cert::CertError;
 use ecq_crypto::{ct, HmacDrbg};
 use ecq_devices::{DevicePreset, DeviceProfile};
 use ecq_proto::transport::{ChannelTransport, Transport};
+use ecq_proto::SocketPair;
 use ecq_proto::{Credentials, Endpoint, OpTrace, ProtocolError, Role, SessionKey, StepOutput};
 use ecq_simnet::{ms_to_ns, CanLink, FaultCounters, FaultPlan, FaultSpec, FrameRecord, SharedBus};
 use ecq_sts::{StsConfig, StsInitiator, StsResponder, StsVariant};
@@ -77,6 +78,13 @@ pub enum TransportKind {
         /// Sessions per bus; session `i` rides bus `i / group`.
         group: usize,
     },
+    /// A real in-process socket pair per session
+    /// (`ecq_proto::SocketPair`): every wire message crosses a kernel
+    /// socket buffer in the versioned service frame format. Delivery
+    /// is immediate in virtual time, so reports stay deterministic;
+    /// this is the smoke path proving the service wire format carries
+    /// the sweep's exact byte streams.
+    Socket,
 }
 
 /// Revocation arriving *during* the sweep: from `at_us`, session
@@ -96,7 +104,13 @@ pub struct RevocationSpec {
 }
 
 /// Options for an interleaved sweep.
+///
+/// The struct is `#[non_exhaustive]`: build one with
+/// [`SweepOptions::new`] (or `default()`) and refine it with the
+/// builder methods, e.g.
+/// `SweepOptions::new().threads(8).transport(TransportKind::Socket)`.
 #[derive(Clone, Copy, Debug)]
+#[non_exhaustive]
 pub struct SweepOptions {
     /// Host worker threads to shard the session population across
     /// (clamped to at least 1). The report is identical for any value.
@@ -129,6 +143,49 @@ impl Default for SweepOptions {
             revocation: None,
             poison: None,
         }
+    }
+}
+
+impl SweepOptions {
+    /// The default options, as a builder starting point.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the host worker thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the link implementation.
+    #[must_use]
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Sets the fault schedule.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Schedules a mid-sweep revocation.
+    #[must_use]
+    pub fn revocation(mut self, revocation: RevocationSpec) -> Self {
+        self.revocation = Some(revocation);
+        self
+    }
+
+    /// Poisons the session with this global index (chaos hook).
+    #[must_use]
+    pub fn poison(mut self, poison: usize) -> Self {
+        self.poison = Some(poison);
+        self
     }
 }
 
@@ -351,10 +408,14 @@ impl Live {
         Ok((out, now + micros_from_ms(cost)))
     }
 
-    fn recv_message(&mut self, to: Role, now: VirtualTime) -> Option<ecq_proto::Message> {
+    fn recv_message(
+        &mut self,
+        to: Role,
+        now: VirtualTime,
+    ) -> Result<Option<ecq_proto::Message>, ProtocolError> {
         match &mut self.link {
-            Link::Private(t) => t.recv(to, now),
-            Link::Shared { bus, slot, .. } => bus.borrow_mut().recv(*slot, to, now),
+            Link::Private(t) => Ok(t.recv_frame(to, now, now)?),
+            Link::Shared { bus, slot, .. } => Ok(bus.borrow_mut().recv(*slot, to, now)),
         }
     }
 
@@ -412,17 +473,21 @@ fn dispatch_send(
     scheduler: &mut LaneScheduler,
 ) {
     match &mut session.link {
-        Link::Private(t) => {
-            let arrival = t.send(from, msg, done_at);
-            scheduler.schedule(
-                arrival,
-                session.index as u64,
-                Event::Deliver {
-                    slot,
-                    to: from.peer(),
-                },
-            );
-        }
+        Link::Private(t) => match t.send_frame(from, msg, done_at) {
+            Ok(arrival) => {
+                scheduler.schedule(
+                    arrival,
+                    session.index as u64,
+                    Event::Deliver {
+                        slot,
+                        to: from.peer(),
+                    },
+                );
+            }
+            // A link that refuses a frame fails the session closed —
+            // virtual links never do; a socket link surfaces real I/O.
+            Err(e) => session.fail(e.into(), done_at),
+        },
         Link::Shared {
             bus,
             bus_id,
@@ -520,8 +585,9 @@ pub(crate) fn run_worker(
             None => match make_transport(&cfg.transport, &w) {
                 Some(t) => Link::Private(t),
                 None => {
-                    // A shared-bus session that failed to register a
-                    // bus slot cannot be simulated; fail it closed.
+                    // A session whose link cannot be built (no bus
+                    // slot registered, socket-pair creation refused)
+                    // cannot be simulated; fail it closed.
                     if let Some(p) = poisoned.get_mut(slot) {
                         *p = true;
                     }
@@ -605,16 +671,24 @@ pub(crate) fn run_worker(
                         continue;
                     }
                 }
-                let Some(msg) = session.recv_message(to, now) else {
-                    // A shared-bus delivery can evaporate (the message
-                    // was lost to faults after its sibling scheduled
-                    // this event, or a replay already consumed it); a
-                    // private link's schedule is exact.
-                    debug_assert!(
-                        matches!(session.link, Link::Shared { .. }),
-                        "private delivery must be due"
-                    );
-                    continue;
+                let msg = match session.recv_message(to, now) {
+                    Ok(Some(msg)) => msg,
+                    Ok(None) => {
+                        // A shared-bus delivery can evaporate (the
+                        // message was lost to faults after its sibling
+                        // scheduled this event, or a replay already
+                        // consumed it); a private link's schedule is
+                        // exact.
+                        debug_assert!(
+                            matches!(session.link, Link::Shared { .. }),
+                            "private delivery must be due"
+                        );
+                        continue;
+                    }
+                    Err(e) => {
+                        session.fail(e, now);
+                        continue;
+                    }
                 };
                 log.push(DeliveryRecord {
                     session: session.index,
@@ -750,6 +824,11 @@ fn make_transport(kind: &TransportKind, work: &SessionWork) -> Option<Box<dyn Tr
             &work.preset_b.profile(),
         ))),
         TransportKind::SharedBus { .. } => None,
+        // Socket-pair creation can fail (fd exhaustion); the caller
+        // fails that session closed rather than aborting the sweep.
+        TransportKind::Socket => SocketPair::open()
+            .ok()
+            .map(|pair| Box::new(pair) as Box<dyn Transport>),
     }
 }
 
@@ -964,18 +1043,16 @@ mod tests {
     #[test]
     fn shared_bus_sweep_is_thread_count_invariant() {
         let run = |threads: usize| {
-            let opts = SweepOptions {
-                threads,
-                transport: TransportKind::SharedBus { group: 2 },
-                faults: FaultSpec {
+            let opts = SweepOptions::new()
+                .threads(threads)
+                .transport(TransportKind::SharedBus { group: 2 })
+                .faults(FaultSpec {
                     seed: 11,
                     drop_per_mille: 60,
                     corrupt_per_mille: 40,
                     deadline_us: 30_000_000,
                     ..FaultSpec::none()
-                },
-                ..SweepOptions::default()
-            };
+                });
             let (results, _, traces) = run_sweep(session_work(4), &opts);
             let outcomes: Vec<_> = results
                 .iter()

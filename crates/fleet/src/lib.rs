@@ -31,12 +31,8 @@
 //! ```
 //! use ecq_fleet::{FleetConfig, FleetCoordinator};
 //!
-//! let mut fleet = FleetCoordinator::new(FleetConfig {
-//!     devices: 32,
-//!     ca_shards: 4,
-//!     enroll_batch: 8,
-//!     ..FleetConfig::default()
-//! });
+//! let mut fleet =
+//!     FleetCoordinator::new(FleetConfig::new().devices(32).ca_shards(4).enroll_batch(8));
 //! let report = fleet.run_lifecycle(1).unwrap();
 //! assert_eq!(report.enrolled, 32);
 //! assert!(report.enrollments_per_virtual_sec() > 0.0);

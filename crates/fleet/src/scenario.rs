@@ -218,25 +218,25 @@ fn run_fleet(
     faults: FaultSpec,
     revocation: Option<RevocationSpec>,
 ) -> Result<FleetCoordinator, (FleetCoordinator, FleetError)> {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: DEVICES,
-        ca_shards: 1,
-        enroll_batch: DEVICES,
-        seed,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(DEVICES)
+            .ca_shards(1)
+            .enroll_batch(DEVICES)
+            .seed(seed),
+    );
     // The paper's prototype board on every endpoint (§V-C).
     fleet.set_preset_all(ecq_devices::DevicePreset::S32K144);
     if let Err(e) = fleet.enroll_all() {
         return Err((fleet, e));
     }
-    let opts = SweepOptions {
-        threads: 1,
-        transport: TransportKind::SharedBus { group: GROUP },
-        faults,
-        revocation,
-        ..SweepOptions::default()
-    };
+    let mut opts = SweepOptions::new()
+        .threads(1)
+        .transport(TransportKind::SharedBus { group: GROUP })
+        .faults(faults);
+    if let Some(spec) = revocation {
+        opts = opts.revocation(spec);
+    }
     match fleet.interleaved_sweep(&opts) {
         Ok(()) => Ok(fleet),
         Err(e) => Err((fleet, e)),

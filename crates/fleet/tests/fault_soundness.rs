@@ -25,22 +25,20 @@ fn run_faulted(
     faults: FaultSpec,
     threads: usize,
 ) -> FleetCoordinator {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices,
-        ca_shards: 1,
-        enroll_batch: devices,
-        seed,
-        variant,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(devices)
+            .ca_shards(1)
+            .enroll_batch(devices)
+            .seed(seed)
+            .variant(variant),
+    );
     fleet.set_preset_all(preset);
     fleet.enroll_all().expect("enrollment is fault-free");
-    let opts = SweepOptions {
-        threads,
-        transport: TransportKind::SharedBus { group: 2 },
-        faults,
-        ..SweepOptions::default()
-    };
+    let opts = SweepOptions::new()
+        .threads(threads)
+        .transport(TransportKind::SharedBus { group: 2 })
+        .faults(faults);
     // Handshake failures are the point of the exercise; the coordinator
     // still aggregates every session's outcome.
     let _ = fleet.interleaved_sweep(&opts);

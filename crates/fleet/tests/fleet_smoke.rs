@@ -9,13 +9,13 @@ use std::time::Instant;
 
 #[test]
 fn thousand_device_enrollment() {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: 1000,
-        ca_shards: 8,
-        enroll_batch: 64,
-        seed: 0x1000,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(1000)
+            .ca_shards(8)
+            .enroll_batch(64)
+            .seed(0x1000),
+    );
     fleet.enroll_all().expect("enrollment succeeds");
     let report = fleet.report();
     assert_eq!(report.enrolled, 1000);
@@ -35,13 +35,13 @@ fn thousand_device_enrollment() {
 
 #[test]
 fn lifecycle_enroll_handshake_rekey() {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: 40,
-        ca_shards: 4,
-        enroll_batch: 8,
-        seed: 0x2000,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(40)
+            .ca_shards(4)
+            .enroll_batch(8)
+            .seed(0x2000),
+    );
     let report = fleet.run_lifecycle(2).unwrap();
     assert_eq!(report.enrolled, 40);
     assert!(
@@ -60,21 +60,21 @@ fn lifecycle_enroll_handshake_rekey() {
 /// Host throughput of one interleaved sweep at `threads` workers
 /// (handshakes per second), on a fresh fleet each time.
 fn interleaved_hs_per_sec(threads: usize) -> f64 {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: 240,
-        ca_shards: 4,
-        enroll_batch: 32,
-        seed: 0x5CA1E,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(240)
+            .ca_shards(4)
+            .enroll_batch(32)
+            .seed(0x5CA1E),
+    );
     fleet.enroll_all().expect("enrollment succeeds");
     let start = Instant::now();
     fleet
-        .interleaved_sweep(&SweepOptions {
-            threads,
-            transport: TransportKind::Simnet,
-            ..SweepOptions::default()
-        })
+        .interleaved_sweep(
+            &SweepOptions::new()
+                .threads(threads)
+                .transport(TransportKind::Simnet),
+        )
         .expect("sweep succeeds");
     fleet.report().handshakes as f64 / start.elapsed().as_secs_f64().max(1e-9)
 }
@@ -118,13 +118,13 @@ proptest! {
         batch in 1usize..8,
     ) {
         let run = || {
-            let mut fleet = FleetCoordinator::new(FleetConfig {
-                devices,
-                ca_shards: shards,
-                enroll_batch: batch,
-                seed,
-                ..FleetConfig::default()
-            });
+            let mut fleet = FleetCoordinator::new(
+                FleetConfig::new()
+                    .devices(devices)
+                    .ca_shards(shards)
+                    .enroll_batch(batch)
+                    .seed(seed),
+            );
             let report = fleet.run_lifecycle(1).unwrap();
             let keys: Vec<[u8; 32]> = fleet
                 .sessions()

@@ -48,13 +48,13 @@ fn render(fleet: &FleetCoordinator) -> String {
 /// so the fixture also pins how a faulted frame is scheduled (it still
 /// occupies the bus) and how the timeout path drains.
 fn pinned_run() -> FleetCoordinator {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: 4,
-        ca_shards: 1,
-        enroll_batch: 4,
-        seed: 0x601D,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(4)
+            .ca_shards(1)
+            .enroll_batch(4)
+            .seed(0x601D),
+    );
     fleet.set_preset_all(DevicePreset::S32K144);
     fleet.enroll_all().expect("enrollment");
     let faults = FaultSpec::targeted_only(
@@ -67,12 +67,10 @@ fn pinned_run() -> FleetCoordinator {
         },
         20_000_000,
     );
-    let opts = SweepOptions {
-        threads: 1,
-        transport: TransportKind::SharedBus { group: 2 },
-        faults,
-        ..SweepOptions::default()
-    };
+    let opts = SweepOptions::new()
+        .threads(1)
+        .transport(TransportKind::SharedBus { group: 2 })
+        .faults(faults);
     // Session 1 times out (its B1 never reassembles); session 0
     // completes. Both outcomes are part of the pinned schedule.
     let _ = fleet.interleaved_sweep(&opts);

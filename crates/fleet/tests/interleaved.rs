@@ -7,13 +7,11 @@ use ecq_fleet::{FleetConfig, FleetCoordinator, FleetError, SweepOptions, Transpo
 use ecq_proto::ProtocolError;
 
 fn config(devices: usize, seed: u64) -> FleetConfig {
-    FleetConfig {
-        devices,
-        ca_shards: 3,
-        enroll_batch: 8,
-        seed,
-        ..FleetConfig::default()
-    }
+    FleetConfig::new()
+        .devices(devices)
+        .ca_shards(3)
+        .enroll_batch(8)
+        .seed(seed)
 }
 
 fn sweep(devices: usize, seed: u64, opts: &SweepOptions) -> FleetCoordinator {
@@ -31,11 +29,9 @@ fn report_is_bit_identical_across_thread_counts() {
             let fleet = sweep(
                 48,
                 0xD15C,
-                &SweepOptions {
-                    threads,
-                    transport: TransportKind::Simnet,
-                    ..SweepOptions::default()
-                },
+                &SweepOptions::new()
+                    .threads(threads)
+                    .transport(TransportKind::Simnet),
             );
             fleet.report().clone()
         })
@@ -51,10 +47,7 @@ fn poisoned_session_fails_closed_and_counts_in_report() {
     let mut fleet = FleetCoordinator::new(config(16, 0xB015));
     fleet.enroll_all().unwrap();
     let err = fleet
-        .interleaved_sweep(&SweepOptions {
-            poison: Some(2),
-            ..SweepOptions::default()
-        })
+        .interleaved_sweep(&SweepOptions::new().poison(2))
         .expect_err("a poisoned session surfaces as a sweep failure");
     assert_eq!(
         err,
@@ -101,11 +94,9 @@ fn handshakes_interleave_across_sessions() {
     let fleet = sweep(
         24,
         0xCAFE,
-        &SweepOptions {
-            threads: 1,
-            transport: TransportKind::Simnet,
-            ..SweepOptions::default()
-        },
+        &SweepOptions::new()
+            .threads(1)
+            .transport(TransportKind::Simnet),
     );
     let log = fleet.last_deliveries();
     assert_eq!(log.len(), 4 * fleet.report().sessions);
@@ -135,16 +126,40 @@ fn keys_are_transport_independent_but_makespan_is_not() {
     let channel = sweep(
         24,
         0xF00D,
-        &SweepOptions {
-            threads: 1,
-            transport: TransportKind::Channel { latency_us: 0 },
-            ..SweepOptions::default()
-        },
+        &SweepOptions::new()
+            .threads(1)
+            .transport(TransportKind::Channel { latency_us: 0 }),
     );
     assert_eq!(simnet.report().key_digest, channel.report().key_digest);
     assert_eq!(channel.report().can_frames, 0);
     assert!(simnet.report().can_frames > 0);
     assert!(simnet.report().handshake_makespan_us > channel.report().handshake_makespan_us);
+}
+
+#[test]
+fn socket_transport_derives_the_same_keys_as_channel() {
+    // Real OS sockets under the fleet sweep: key material and session
+    // outcomes must match the in-process channel transport exactly —
+    // only the link model differs, never the cryptography.
+    let channel = sweep(
+        16,
+        0x50C7,
+        &SweepOptions::new()
+            .threads(1)
+            .transport(TransportKind::Channel { latency_us: 0 }),
+    );
+    let socket = sweep(
+        16,
+        0x50C7,
+        &SweepOptions::new()
+            .threads(1)
+            .transport(TransportKind::Socket),
+    );
+    assert_eq!(channel.report().key_digest, socket.report().key_digest);
+    assert_eq!(channel.report().handshakes, socket.report().handshakes);
+    // Sockets carry whole messages: one wire frame each, no CAN-FD
+    // segmentation.
+    assert_eq!(socket.report().can_frames, socket.report().messages);
 }
 
 #[test]
@@ -217,11 +232,9 @@ fn mixed_thread_and_transport_runs_share_keys() {
     let eight = sweep(
         30,
         42,
-        &SweepOptions {
-            threads: 8,
-            transport: TransportKind::Simnet,
-            ..SweepOptions::default()
-        },
+        &SweepOptions::new()
+            .threads(8)
+            .transport(TransportKind::Simnet),
     );
     let ka: Vec<_> = one
         .sessions()

@@ -30,6 +30,7 @@ use crate::ct;
 use crate::field::FieldElement;
 use crate::scalar::Scalar;
 use crate::u256::U256;
+use crate::CurveError;
 use std::sync::OnceLock;
 
 /// Generator x-coordinate, big-endian hex.
@@ -148,6 +149,41 @@ impl AffinePoint {
             .sub(&self.x.double().add(&self.x)) // x³ − 3x
             .add(&FieldElement::curve_b());
         y2 == rhs
+    }
+
+    /// Encodes the point in compressed SEC1 form (`02/03 ‖ x`,
+    /// 33 bytes) — the representation the service wire format and the
+    /// ECQV minimal certificate carry.
+    ///
+    /// Unlike [`crate::encoding::encode_compressed`], this is total:
+    /// the point at infinity (which has no SEC1 encoding here) is a
+    /// typed error instead of a panic, so wire-facing code stays
+    /// panic-free.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::InvalidPoint`] on the point at infinity.
+    pub fn to_bytes_compressed(&self) -> Result<[u8; 33], CurveError> {
+        if self.infinity {
+            return Err(CurveError::InvalidPoint);
+        }
+        let mut out = [0u8; 33];
+        out[0] = if self.y.is_odd() { 0x03 } else { 0x02 };
+        out[1..].copy_from_slice(&self.x.to_be_bytes());
+        Ok(out)
+    }
+
+    /// Decodes a compressed SEC1 point (33 bytes), recomputing `y` from
+    /// the parity tag via a square root and validating the curve
+    /// equation.
+    ///
+    /// # Errors
+    ///
+    /// [`CurveError::InvalidPoint`] on a bad tag or length, an
+    /// out-of-range `x`, or an `x` whose `x³ − 3x + b` is a
+    /// non-residue (no curve point has that abscissa).
+    pub fn from_bytes_compressed(bytes: &[u8]) -> Result<Self, CurveError> {
+        crate::encoding::decode_compressed(bytes)
     }
 
     /// Constructs a point from affine coordinates, validating the curve

@@ -109,6 +109,53 @@ proptest! {
     }
 
     #[test]
+    fn compressed_bytes_roundtrip(a in arb_scalar()) {
+        // The total (non-panicking) method pair the wire format uses.
+        let p = mul_generator_vartime(&a);
+        let enc = p.to_bytes_compressed().unwrap();
+        prop_assert_eq!(enc.len(), 33);
+        prop_assert!(enc[0] == 0x02 || enc[0] == 0x03);
+        prop_assert_eq!(AffinePoint::from_bytes_compressed(&enc).unwrap(), p);
+        // Flipping the parity tag decodes to the negated point.
+        let mut flipped = enc;
+        flipped[0] ^= 0x01;
+        prop_assert_eq!(AffinePoint::from_bytes_compressed(&flipped).unwrap(), p.neg());
+    }
+
+    #[test]
+    fn compressed_bytes_reject_bad_prefixes(a in arb_scalar(), tag in any::<u8>()) {
+        // Any tag other than 02/03 must be rejected, whatever the x.
+        prop_assume!(tag != 0x02 && tag != 0x03);
+        let p = mul_generator_vartime(&a);
+        let mut enc = p.to_bytes_compressed().unwrap();
+        enc[0] = tag;
+        prop_assert!(AffinePoint::from_bytes_compressed(&enc).is_err());
+        // Wrong lengths fail closed too.
+        prop_assert!(AffinePoint::from_bytes_compressed(&enc[..32]).is_err());
+        prop_assert!(AffinePoint::from_bytes_compressed(&[]).is_err());
+    }
+
+    #[test]
+    fn compressed_bytes_reject_non_residues(x in any::<[u8; 32]>()) {
+        // A random abscissa is on the curve for only ~half of all x;
+        // whatever the decoder returns must itself be a curve point
+        // that re-encodes to the same bytes — never a panic, never an
+        // off-curve point.
+        let mut enc = [0u8; 33];
+        enc[0] = 0x02;
+        enc[1..].copy_from_slice(&x);
+        if let Ok(p) = AffinePoint::from_bytes_compressed(&enc) {
+            prop_assert!(p.is_on_curve());
+            prop_assert_eq!(p.to_bytes_compressed().unwrap(), enc);
+        }
+    }
+
+    #[test]
+    fn infinity_has_no_compressed_encoding(_x in any::<u8>()) {
+        prop_assert!(AffinePoint::identity().to_bytes_compressed().is_err());
+    }
+
+    #[test]
     fn shamir_equals_naive(a in arb_scalar(), b in arb_scalar(), q_scalar in arb_scalar()) {
         let g = AffinePoint::generator();
         let q = mul_generator_vartime(&q_scalar);

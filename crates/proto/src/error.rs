@@ -3,6 +3,85 @@
 use ecq_cert::CertError;
 use ecq_p256::CurveError;
 
+/// Errors surfaced by the transport layer — framing, socket I/O and
+/// per-connection deadlines — kept separate from [`ProtocolError`] so a
+/// handshake state machine never has to pattern-match on wire plumbing.
+///
+/// Every variant is a *fail-closed* rejection: a frame that trips one of
+/// these is dropped in its entirety and the decoder state resets. The
+/// type is `Copy` so transports can surface it through the same
+/// value-oriented plumbing as [`ProtocolError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportError {
+    /// An operating-system I/O error, reduced to its [`std::io::ErrorKind`]
+    /// (the rich error is not `Copy`; the kind is what callers branch on).
+    Io(std::io::ErrorKind),
+    /// A read or write did not complete before the connection deadline.
+    Timeout,
+    /// The peer closed the connection mid-frame.
+    Closed,
+    /// A frame header declared a payload longer than the negotiated cap.
+    FrameTooLarge {
+        /// Declared payload length.
+        len: u32,
+        /// The decoder's hard cap.
+        max: u32,
+    },
+    /// The frame did not start with the protocol magic.
+    BadMagic,
+    /// The frame carried an unknown protocol version.
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The frame named a cryptosystem this build does not implement.
+    BadCrypto {
+        /// The cryptosystem identifier received.
+        got: u8,
+    },
+    /// The frame ended before its declared payload did.
+    Truncated,
+    /// The frame parsed structurally but its payload is not a valid
+    /// encoding of any known message.
+    Malformed,
+}
+
+impl core::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TransportError::Io(kind) => write!(f, "transport i/o error: {kind}"),
+            TransportError::Timeout => write!(f, "transport deadline exceeded"),
+            TransportError::Closed => write!(f, "peer closed the connection"),
+            TransportError::FrameTooLarge { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds cap of {max}")
+            }
+            TransportError::BadMagic => write!(f, "frame does not start with protocol magic"),
+            TransportError::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got:#04x}")
+            }
+            TransportError::BadCrypto { got } => {
+                write!(f, "unsupported cryptosystem identifier {got:#04x}")
+            }
+            TransportError::Truncated => write!(f, "frame truncated before declared length"),
+            TransportError::Malformed => write!(f, "frame payload is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => {
+                TransportError::Timeout
+            }
+            std::io::ErrorKind::UnexpectedEof => TransportError::Closed,
+            kind => TransportError::Io(kind),
+        }
+    }
+}
+
 /// Errors surfaced by protocol endpoints and the handshake driver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolError {
@@ -34,6 +113,9 @@ pub enum ProtocolError {
     /// closed — no key is reported — while the rest of the fleet
     /// completes.
     Poisoned,
+    /// The transport under the handshake failed (framing, socket I/O
+    /// or a connection deadline). See [`TransportError`].
+    Transport(TransportError),
 }
 
 impl core::fmt::Display for ProtocolError {
@@ -49,6 +131,7 @@ impl core::fmt::Display for ProtocolError {
             ProtocolError::Timeout => write!(f, "handshake timed out"),
             ProtocolError::KeyMismatch => write!(f, "session keys disagree"),
             ProtocolError::Poisoned => write!(f, "session state lost mid-sweep; failed closed"),
+            ProtocolError::Transport(e) => write!(f, "transport error: {e}"),
         }
     }
 }
@@ -58,6 +141,7 @@ impl std::error::Error for ProtocolError {
         match self {
             ProtocolError::Curve(e) => Some(e),
             ProtocolError::Cert(e) => Some(e),
+            ProtocolError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -72,6 +156,12 @@ impl From<CurveError> for ProtocolError {
 impl From<CertError> for ProtocolError {
     fn from(e: CertError) -> Self {
         ProtocolError::Cert(e)
+    }
+}
+
+impl From<TransportError> for ProtocolError {
+    fn from(e: TransportError) -> Self {
+        ProtocolError::Transport(e)
     }
 }
 
@@ -94,5 +184,25 @@ mod tests {
         assert_eq!(e, ProtocolError::Curve(CurveError::InvalidScalar));
         let e: ProtocolError = CertError::Expired.into();
         assert_eq!(e, ProtocolError::Cert(CertError::Expired));
+        let e: ProtocolError = TransportError::BadMagic.into();
+        assert_eq!(e, ProtocolError::Transport(TransportError::BadMagic));
+    }
+
+    #[test]
+    fn io_error_reduction() {
+        let timeout = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow");
+        assert_eq!(TransportError::from(timeout), TransportError::Timeout);
+        let block = std::io::Error::new(std::io::ErrorKind::WouldBlock, "later");
+        assert_eq!(TransportError::from(block), TransportError::Timeout);
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "gone");
+        assert_eq!(TransportError::from(eof), TransportError::Closed);
+        let refused = std::io::Error::new(std::io::ErrorKind::ConnectionRefused, "no");
+        assert_eq!(
+            TransportError::from(refused),
+            TransportError::Io(std::io::ErrorKind::ConnectionRefused)
+        );
+        assert!(TransportError::Timeout.to_string().contains("deadline"));
+        let e = ProtocolError::Transport(TransportError::BadVersion { got: 9 });
+        assert!(e.source().is_some());
     }
 }

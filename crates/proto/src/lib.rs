@@ -13,14 +13,22 @@
 //!   that produces [`transcript::Transcript`]s,
 //! * [`transport`] — the message-granularity [`transport::Transport`]
 //!   link abstraction with the in-memory channel implementation,
-//! * [`error`] — the shared error type.
+//! * [`framing`] — the versioned, length-prefixed service wire format
+//!   (magic, protocol version, cryptosystem identifier) with a total
+//!   fail-closed decoder,
+//! * [`socket`] — real-socket [`transport::Transport`] implementations
+//!   over the framing layer (TCP / Unix streams, in-process pairs),
+//! * [`error`] — the shared error types ([`ProtocolError`],
+//!   [`TransportError`]).
 
 #![warn(missing_docs)]
 
 pub mod credentials;
 pub mod endpoint;
 pub mod error;
+pub mod framing;
 pub mod session;
+pub mod socket;
 pub mod trace;
 pub mod transcript;
 pub mod transport;
@@ -28,8 +36,10 @@ pub mod wire;
 
 pub use credentials::Credentials;
 pub use endpoint::{run_handshake, Endpoint, Role, StepOutput};
-pub use error::ProtocolError;
+pub use error::{ProtocolError, TransportError};
+pub use framing::{Frame, FrameKind};
 pub use session::SessionKey;
+pub use socket::{SocketPair, StreamTransport};
 pub use trace::{OpTrace, PrimitiveOp, StsPhase};
 pub use transcript::Transcript;
 pub use transport::{ChannelTransport, DirectionalQueues, Transport, TransportTime};

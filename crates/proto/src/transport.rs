@@ -16,16 +16,23 @@
 //!
 //! The contract every implementation upholds:
 //!
-//! 1. **Determinism** — delivery times are a pure function of the
-//!    submitted messages and their timestamps; no wall clock, no
-//!    randomness.
+//! 1. **Determinism** (virtual-time transports) — delivery times are a
+//!    pure function of the submitted messages and their timestamps; no
+//!    wall clock, no randomness. Real-socket transports trade this for
+//!    wall-clock concurrency and live outside the simulator's
+//!    determinism envelope (see `ecq_service`).
 //! 2. **FIFO per direction** — messages from one role arrive in the
 //!    order they were sent (a CAN link cannot reorder one sender's
 //!    ISO-TP messages).
-//! 3. **Positive progress** — `send` never returns a time earlier than
-//!    `now`, so an event scheduler driving the link always advances.
+//! 3. **Positive progress** — `send_frame` never returns a time earlier
+//!    than `now`, so an event scheduler driving the link always
+//!    advances.
+//! 4. **Fail closed** — a frame the link cannot carry or decode is
+//!    surfaced as a typed [`TransportError`], never delivered partially
+//!    and never panicked on.
 
 use crate::endpoint::Role;
+use crate::error::TransportError;
 use crate::wire::Message;
 use std::collections::VecDeque;
 
@@ -34,23 +41,56 @@ pub type TransportTime = u64;
 
 /// A bidirectional link carrying wire messages between the two roles of
 /// one handshake, with virtual-time delivery accounting.
+///
+/// The API is framed: one handshake [`Message`] in, one frame on the
+/// link, one [`Message`] out. Virtual-time implementations
+/// ([`ChannelTransport`], `ecq_simnet::transport::CanLink`) are
+/// infallible in practice and always return `Ok`; real-socket
+/// implementations (`ecq_service::SocketTransport`) surface I/O and
+/// framing failures as [`TransportError`].
 pub trait Transport {
     /// Submits `message` from `from` at virtual time `now_us`. Returns
     /// the virtual time at which the peer can receive it.
-    fn send(&mut self, from: Role, message: Message, now_us: TransportTime) -> TransportTime;
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] when the frame cannot be carried
+    /// (encoding failure, oversized frame, socket I/O failure).
+    fn send_frame(
+        &mut self,
+        from: Role,
+        message: Message,
+        now_us: TransportTime,
+    ) -> Result<TransportTime, TransportError>;
 
     /// Delivers the earliest message queued for `to` whose delivery
-    /// time is `<= now_us`, or `None` when nothing has arrived yet.
-    fn recv(&mut self, to: Role, now_us: TransportTime) -> Option<Message>;
+    /// time is `<= now_us`, or `Ok(None)` when nothing has arrived yet.
+    ///
+    /// `deadline_us` is the caller's receive deadline. Virtual-time
+    /// transports never block and treat it as advisory; blocking
+    /// socket transports wait up to `deadline_us - now_us`
+    /// (wall-clock microseconds) for a frame before returning
+    /// [`TransportError::Timeout`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TransportError`] when a frame arrives but cannot be
+    /// decoded, or when the link itself fails.
+    fn recv_frame(
+        &mut self,
+        to: Role,
+        now_us: TransportTime,
+        deadline_us: TransportTime,
+    ) -> Result<Option<Message>, TransportError>;
 
     /// The earliest pending delivery time for `to`, if any message is
     /// in flight toward it.
     fn next_delivery(&self, to: Role) -> Option<TransportTime>;
 
-    /// Total payload bytes accepted by [`Transport::send`] so far.
+    /// Total payload bytes accepted by [`Transport::send_frame`] so far.
     fn bytes_carried(&self) -> u64;
 
-    /// Total messages accepted by [`Transport::send`] so far.
+    /// Total messages accepted by [`Transport::send_frame`] so far.
     fn messages_carried(&self) -> u64;
 
     /// Link-layer frames moved so far (0 for transports that do not
@@ -149,15 +189,26 @@ impl ChannelTransport {
 }
 
 impl Transport for ChannelTransport {
-    fn send(&mut self, from: Role, message: Message, now_us: TransportTime) -> TransportTime {
+    fn send_frame(
+        &mut self,
+        from: Role,
+        message: Message,
+        now_us: TransportTime,
+    ) -> Result<TransportTime, TransportError> {
         self.bytes += message.wire_len() as u64;
         self.messages += 1;
-        self.queues
-            .push(from.peer(), now_us.saturating_add(self.latency_us), message)
+        Ok(self
+            .queues
+            .push(from.peer(), now_us.saturating_add(self.latency_us), message))
     }
 
-    fn recv(&mut self, to: Role, now_us: TransportTime) -> Option<Message> {
-        self.queues.pop_due(to, now_us)
+    fn recv_frame(
+        &mut self,
+        to: Role,
+        now_us: TransportTime,
+        _deadline_us: TransportTime,
+    ) -> Result<Option<Message>, TransportError> {
+        Ok(self.queues.pop_due(to, now_us))
     }
 
     fn next_delivery(&self, to: Role) -> Option<TransportTime> {
@@ -182,25 +233,31 @@ mod tests {
         Message::new(step, vec![WireField::new(FieldKind::Ack, vec![byte])])
     }
 
+    /// Non-blocking receive helper: virtual transports ignore the
+    /// deadline, so pass `now` for both.
+    fn take(t: &mut ChannelTransport, to: Role, now: TransportTime) -> Option<Message> {
+        t.recv_frame(to, now, now).unwrap()
+    }
+
     #[test]
     fn latency_defers_delivery() {
         let mut t = ChannelTransport::new(250);
-        let at = t.send(Role::Initiator, msg("A1", 1), 100);
+        let at = t.send_frame(Role::Initiator, msg("A1", 1), 100).unwrap();
         assert_eq!(at, 350);
         assert_eq!(t.next_delivery(Role::Responder), Some(350));
-        assert!(t.recv(Role::Responder, 349).is_none());
-        let m = t.recv(Role::Responder, 350).unwrap();
+        assert!(take(&mut t, Role::Responder, 349).is_none());
+        let m = take(&mut t, Role::Responder, 350).unwrap();
         assert_eq!(m.step, "A1");
-        assert!(t.recv(Role::Responder, 400).is_none());
+        assert!(take(&mut t, Role::Responder, 400).is_none());
     }
 
     #[test]
     fn directions_are_independent() {
         let mut t = ChannelTransport::new(0);
-        t.send(Role::Initiator, msg("A1", 1), 0);
-        t.send(Role::Responder, msg("B1", 2), 0);
-        assert_eq!(t.recv(Role::Initiator, 0).unwrap().step, "B1");
-        assert_eq!(t.recv(Role::Responder, 0).unwrap().step, "A1");
+        t.send_frame(Role::Initiator, msg("A1", 1), 0).unwrap();
+        t.send_frame(Role::Responder, msg("B1", 2), 0).unwrap();
+        assert_eq!(take(&mut t, Role::Initiator, 0).unwrap().step, "B1");
+        assert_eq!(take(&mut t, Role::Responder, 0).unwrap().step, "A1");
         assert_eq!(t.messages_carried(), 2);
         assert_eq!(t.bytes_carried(), 2);
     }
@@ -208,11 +265,11 @@ mod tests {
     #[test]
     fn fifo_within_a_direction() {
         let mut t = ChannelTransport::new(10);
-        t.send(Role::Initiator, msg("A1", 1), 0);
-        t.send(Role::Initiator, msg("A2", 2), 5);
-        assert_eq!(t.recv(Role::Responder, 100).unwrap().step, "A1");
-        assert_eq!(t.recv(Role::Responder, 100).unwrap().step, "A2");
-        assert!(t.recv(Role::Responder, 100).is_none());
+        t.send_frame(Role::Initiator, msg("A1", 1), 0).unwrap();
+        t.send_frame(Role::Initiator, msg("A2", 2), 5).unwrap();
+        assert_eq!(take(&mut t, Role::Responder, 100).unwrap().step, "A1");
+        assert_eq!(take(&mut t, Role::Responder, 100).unwrap().step, "A2");
+        assert!(take(&mut t, Role::Responder, 100).is_none());
         assert_eq!(t.next_delivery(Role::Responder), None);
     }
 
@@ -233,8 +290,8 @@ mod tests {
     #[test]
     fn zero_latency_delivers_at_send_time() {
         let mut t = ChannelTransport::new(0);
-        let at = t.send(Role::Responder, msg("B2", 1), 77);
+        let at = t.send_frame(Role::Responder, msg("B2", 1), 77).unwrap();
         assert_eq!(at, 77);
-        assert!(t.recv(Role::Initiator, 77).is_some());
+        assert!(take(&mut t, Role::Initiator, 77).is_some());
     }
 }

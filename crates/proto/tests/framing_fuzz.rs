@@ -1,0 +1,109 @@
+//! Decoder fuzz: the service wire decoder is total. Arbitrary byte
+//! soup, mutated valid frames and hostile declared lengths must all
+//! come back as typed [`TransportError`]s — never a panic, never an
+//! out-of-bounds read, never an unbounded allocation.
+//!
+//! This is the proptest half of the CI `service` job's fuzz gate (the
+//! other half drives the live daemon with garbage over a real socket).
+
+use ecq_proto::framing::{decode_message, Frame, HEADER_LEN, MAGIC, MAX_PAYLOAD};
+use ecq_proto::wire::{FieldKind, Message, WireField};
+use ecq_proto::TransportError;
+use proptest::prelude::*;
+
+fn sample_frame() -> Frame {
+    Frame::HsMessage(Message::new(
+        "A2",
+        vec![
+            WireField::new(FieldKind::Id, vec![1; 16]),
+            WireField::new(FieldKind::Signature, vec![2; 64]),
+            WireField::new(FieldKind::Mac, vec![3; 32]),
+        ],
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Pure byte soup: decode returns, and on success reports a
+    /// consumed length inside the input.
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // A typed rejection is the expected outcome for most soup.
+        if let Ok((_, used)) = Frame::decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Byte soup behind a valid header prefix: exercises the payload
+    /// decoders, which see attacker-controlled bytes after the header
+    /// gates pass.
+    #[test]
+    fn framed_soup_never_panics_the_payload_decoders(
+        kind_code in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(1); // VERSION
+        bytes.push(0x17); // CRYPTO_P256_SHA256
+        bytes.push(kind_code);
+        bytes.push(0);
+        bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        bytes.extend_from_slice(&payload);
+        let _ = Frame::decode(&bytes); // must return, Ok or typed Err
+    }
+
+    /// Single-byte mutations of a valid frame: decode stays total and
+    /// never consumes more than it was given.
+    #[test]
+    fn mutated_valid_frames_never_panic(pos in 0usize..200, val in any::<u8>()) {
+        let mut bytes = sample_frame().encode().unwrap();
+        let pos = pos % bytes.len();
+        bytes[pos] = val;
+        if let Ok((_, used)) = Frame::decode(&bytes) {
+            prop_assert!(used <= bytes.len());
+        }
+    }
+
+    /// Hostile declared lengths: a header announcing up to u32::MAX
+    /// payload bytes (with none attached) must reject without trying
+    /// to allocate or read them.
+    #[test]
+    fn hostile_declared_lengths_are_rejected(len in any::<u32>()) {
+        let mut bytes = Vec::with_capacity(HEADER_LEN);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(1);
+        bytes.push(0x17);
+        bytes.push(0x30); // CrlRequest
+        bytes.push(0);
+        bytes.extend_from_slice(&len.to_be_bytes());
+        match Frame::decode(&bytes) {
+            Ok((frame, used)) => {
+                prop_assert_eq!(len, 0);
+                prop_assert_eq!(used, HEADER_LEN);
+                prop_assert_eq!(frame, Frame::CrlRequest);
+            }
+            Err(e) if len > MAX_PAYLOAD => {
+                prop_assert_eq!(e, TransportError::FrameTooLarge { len, max: MAX_PAYLOAD });
+            }
+            Err(e) => prop_assert_eq!(e, TransportError::Truncated),
+        }
+    }
+
+    /// The handshake-message payload decoder is total on its own.
+    #[test]
+    fn message_decoder_is_total(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_message(&payload);
+    }
+
+    /// Truncation at every prefix of a valid frame is always the typed
+    /// `Truncated` error — the signal a streaming reader relies on to
+    /// keep buffering instead of tearing the connection down.
+    #[test]
+    fn every_truncation_is_typed(cut_seed in any::<usize>()) {
+        let bytes = sample_frame().encode().unwrap();
+        let cut = cut_seed % bytes.len();
+        prop_assert_eq!(Frame::decode(&bytes[..cut]), Err(TransportError::Truncated));
+    }
+}

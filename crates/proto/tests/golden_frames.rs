@@ -1,0 +1,211 @@
+//! Golden byte fixtures for the service wire format: one pinned
+//! encoding per frame kind, plus pinned *rejections* for version skew
+//! and header corruption.
+//!
+//! The fixture file is the compatibility contract made visible: any
+//! change to the header layout, field order, length prefixes or step
+//! codes shows up as a hex diff. Deliberate format changes (a version
+//! bump) regenerate it with
+//! `GOLDEN_FRAMES_REGENERATE=1 cargo test -p ecq_proto --test golden_frames`.
+
+use ecq_proto::framing::{ErrorCode, Frame, FrameKind, MAX_PAYLOAD, VERSION};
+use ecq_proto::wire::{FieldKind, Message, WireField};
+use ecq_proto::TransportError;
+
+fn fixture_path() -> String {
+    format!(
+        "{}/tests/fixtures/golden_frames.txt",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Deterministic sample for every frame kind; patterned fill bytes so
+/// a diff localizes which field moved.
+fn all_frames() -> Vec<(&'static str, Frame)> {
+    vec![
+        ("hello", Frame::Hello { nonce: [0xA1; 32] }),
+        (
+            "hello_ack",
+            Frame::HelloAck {
+                ca_public: [0xB2; 33],
+            },
+        ),
+        (
+            "enroll_request",
+            Frame::EnrollRequest {
+                subject: [0xC3; 16],
+                point: [0xD4; 33],
+            },
+        ),
+        (
+            "enroll_issued",
+            Frame::EnrollIssued {
+                cert: [0xE5; 101],
+                recon_private: [0xF6; 32],
+            },
+        ),
+        (
+            "hs_open",
+            Frame::HsOpen {
+                seed: [0x17; 32],
+                variant: 2,
+                now: 0x0102_0304,
+            },
+        ),
+        (
+            "hs_message",
+            Frame::HsMessage(Message::new(
+                "B1",
+                vec![
+                    WireField::new(FieldKind::Id, vec![0x28; 16]),
+                    WireField::new(FieldKind::Cert, vec![0x39; 101]),
+                    WireField::new(FieldKind::EphemeralPoint, vec![0x4A; 64]),
+                    WireField::new(FieldKind::Response, vec![0x5B; 64]),
+                ],
+            )),
+        ),
+        ("crl_request", Frame::CrlRequest),
+        (
+            "crl_response",
+            Frame::CrlResponse {
+                crl: vec![0x6C; 24],
+                signature: vec![0x7D; 64],
+            },
+        ),
+        (
+            "error_close",
+            Frame::ErrorClose {
+                code: ErrorCode::ShuttingDown.code(),
+            },
+        ),
+    ]
+}
+
+fn render() -> String {
+    let mut out = String::from("# frame_kind hex_encoding\n");
+    for (name, frame) in all_frames() {
+        let bytes = frame.encode().expect("golden frames encode");
+        out.push_str(&format!("{name} {}\n", hex(&bytes)));
+    }
+    out
+}
+
+#[test]
+fn every_frame_kind_matches_its_golden_bytes() {
+    let rendered = render();
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_FRAMES_REGENERATE").is_some() {
+        std::fs::write(&path, &rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing fixture {path}: {e}; regenerate with GOLDEN_FRAMES_REGENERATE=1")
+    });
+    for (n, (got, want)) in rendered.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            got,
+            want,
+            "wire encoding diverges from fixture at line {} — this is a \
+             format break; if intentional, bump VERSION and regenerate",
+            n + 1
+        );
+    }
+    assert_eq!(rendered.lines().count(), expected.lines().count());
+}
+
+#[test]
+fn golden_bytes_decode_back_to_their_frames() {
+    // The fixture is not just pinned — it stays *decodable*, and the
+    // decode consumes exactly the encoded length (no trailing slack).
+    for (name, frame) in all_frames() {
+        let bytes = frame.encode().unwrap();
+        let (decoded, used) = Frame::decode(&bytes).unwrap();
+        assert_eq!(used, bytes.len(), "{name}");
+        assert_eq!(decoded, frame, "{name}");
+    }
+}
+
+/// Version skew is rejected on EVERY frame kind, before any payload
+/// parsing: a v2 peer gets `BadVersion`, never a misparse.
+#[test]
+fn version_skew_is_rejected_for_every_kind() {
+    for (name, frame) in all_frames() {
+        let mut bytes = frame.encode().unwrap();
+        for skew in [0u8, VERSION + 1, 0xFF] {
+            bytes[4] = skew;
+            assert_eq!(
+                Frame::decode(&bytes),
+                Err(TransportError::BadVersion { got: skew }),
+                "{name} with version {skew}"
+            );
+        }
+    }
+}
+
+/// The other header gates hold for every kind too: magic, crypto
+/// suite, reserved flags, oversized declared length.
+#[test]
+fn header_gates_hold_for_every_kind() {
+    for (name, frame) in all_frames() {
+        let good = frame.encode().unwrap();
+
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(TransportError::BadMagic),
+            "{name} magic"
+        );
+
+        let mut bad = good.clone();
+        bad[5] = 0x18;
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(TransportError::BadCrypto { got: 0x18 }),
+            "{name} crypto"
+        );
+
+        let mut bad = good.clone();
+        bad[7] = 0x01;
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(TransportError::Malformed),
+            "{name} flags"
+        );
+
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_be_bytes());
+        assert_eq!(
+            Frame::decode(&bad),
+            Err(TransportError::FrameTooLarge {
+                len: MAX_PAYLOAD + 1,
+                max: MAX_PAYLOAD,
+            }),
+            "{name} length"
+        );
+    }
+}
+
+#[test]
+fn frame_kind_codes_are_pinned() {
+    // The (kind, code) table itself is part of the wire contract.
+    let pinned: [(FrameKind, u8); 9] = [
+        (FrameKind::Hello, 0x01),
+        (FrameKind::HelloAck, 0x02),
+        (FrameKind::EnrollRequest, 0x10),
+        (FrameKind::EnrollIssued, 0x11),
+        (FrameKind::HsOpen, 0x20),
+        (FrameKind::HsMessage, 0x21),
+        (FrameKind::CrlRequest, 0x30),
+        (FrameKind::CrlResponse, 0x31),
+        (FrameKind::ErrorClose, 0x7F),
+    ];
+    for (kind, code) in pinned {
+        assert_eq!(kind.code(), code, "{kind:?}");
+        assert_eq!(FrameKind::from_code(code), Ok(kind));
+    }
+}

@@ -1,0 +1,224 @@
+//! Per-connection frame dispatch.
+//!
+//! `handle_connection` is a panic-reachability root for `ecq_lint`:
+//! everything reachable from here must fail closed with a typed
+//! [`ErrorCode`] frame, never a panic — a hostile peer controls every
+//! byte this module reads.
+
+use crate::daemon::Shared;
+use crate::stream::ServiceStream;
+use crate::variant_from_code;
+use ecq_cert::requester::CertRequest;
+use ecq_cert::DeviceId;
+use ecq_crypto::HmacDrbg;
+use ecq_p256::point::AffinePoint;
+use ecq_proto::framing::ErrorCode;
+use ecq_proto::socket::{write_frame, DeadlineStream};
+use ecq_proto::{Endpoint, Frame, StepOutput, TransportError};
+use ecq_sts::{StsConfig, StsResponder};
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Read-poll granularity: the connection wakes this often to notice a
+/// daemon shutdown or an expired idle deadline.
+const TICK: Duration = Duration::from_millis(50);
+
+/// How one service of a frame (or a read attempt) ends.
+enum Outcome {
+    /// A complete frame was decoded.
+    Frame(Frame),
+    /// The idle deadline passed without a complete frame.
+    Deadline,
+    /// The daemon is shutting down.
+    Shutdown,
+    /// The peer closed the stream (or an unrecoverable read error).
+    Closed,
+    /// The byte stream is not a valid frame stream.
+    Bad,
+}
+
+/// Accumulates stream bytes and yields complete frames.
+struct FrameSource {
+    buf: Vec<u8>,
+}
+
+impl FrameSource {
+    fn new() -> Self {
+        FrameSource { buf: Vec::new() }
+    }
+
+    /// Blocks (in `TICK` steps) until a complete frame arrives, the
+    /// idle budget runs out, the daemon shuts down, or the stream
+    /// fails. Buffered surplus bytes carry over to the next call, so a
+    /// peer may batch frames in one write.
+    fn next(&mut self, stream: &mut ServiceStream, shared: &Shared) -> Outcome {
+        let mut waited = Duration::ZERO;
+        let mut chunk = [0u8; 4096];
+        loop {
+            if !self.buf.is_empty() {
+                match Frame::decode(&self.buf) {
+                    Ok((frame, used)) => {
+                        self.buf.drain(..used);
+                        return Outcome::Frame(frame);
+                    }
+                    Err(TransportError::Truncated) => {} // need more bytes
+                    Err(_) => return Outcome::Bad,
+                }
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Outcome::Shutdown;
+            }
+            if waited >= shared.read_timeout {
+                return Outcome::Deadline;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => return Outcome::Closed,
+                Ok(n) => {
+                    if let Some(bytes) = chunk.get(..n) {
+                        self.buf.extend_from_slice(bytes);
+                    }
+                }
+                Err(e) => match e.kind() {
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                        waited = waited.saturating_add(TICK);
+                    }
+                    std::io::ErrorKind::Interrupted => {}
+                    _ => return Outcome::Closed,
+                },
+            }
+        }
+    }
+}
+
+/// Serves one accepted connection to completion. Never panics; every
+/// abnormal end sends a typed [`ErrorCode`] frame before closing.
+pub(crate) fn handle_connection(shared: &Shared, mut stream: ServiceStream) {
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    if stream.set_read_deadline(Some(TICK)).is_err()
+        || stream
+            .set_write_deadline(Some(shared.write_timeout))
+            .is_err()
+    {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    if let Err(Some(code)) = serve(shared, &mut stream) {
+        // Administrative closes (daemon shutdown) are not peer
+        // faults; everything else counts as a connection error.
+        if code != ErrorCode::ShuttingDown {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let _ = write_frame(&mut stream, &Frame::ErrorClose { code: code.code() });
+    }
+}
+
+/// The dispatch loop. `Err(Some(code))` closes with a typed error
+/// frame; `Err(None)` is a silent close (the peer already went away).
+fn serve(shared: &Shared, stream: &mut ServiceStream) -> Result<(), Option<ErrorCode>> {
+    let mut source = FrameSource::new();
+    loop {
+        match source.next(stream, shared) {
+            Outcome::Frame(Frame::Hello { nonce: _ }) => {
+                let ca_public = shared
+                    .ca
+                    .public_key()
+                    .to_bytes_compressed()
+                    .map_err(|_| Some(ErrorCode::BadFrame))?;
+                write_frame(stream, &Frame::HelloAck { ca_public }).map_err(|_| None)?;
+            }
+            Outcome::Frame(Frame::EnrollRequest { subject, point }) => {
+                let issued = enroll(shared, subject, &point)?;
+                write_frame(stream, &issued).map_err(|_| None)?;
+                shared.stats.enrollments.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Frame(Frame::HsOpen { seed, variant, now }) => {
+                handshake(shared, stream, &mut source, &seed, variant, now)?;
+                shared.stats.handshakes.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Frame(Frame::CrlRequest) => {
+                let reply = crl_response(shared)?;
+                write_frame(stream, &reply).map_err(|_| None)?;
+                shared.stats.crl_fetches.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Frame(Frame::ErrorClose { .. }) => return Ok(()),
+            // Server-to-client frames (and stray handshake messages
+            // outside a session) are protocol violations here.
+            Outcome::Frame(_) => return Err(Some(ErrorCode::BadFrame)),
+            Outcome::Deadline => return Err(Some(ErrorCode::Deadline)),
+            Outcome::Shutdown => return Err(Some(ErrorCode::ShuttingDown)),
+            Outcome::Closed => return Ok(()),
+            Outcome::Bad => return Err(Some(ErrorCode::BadFrame)),
+        }
+    }
+}
+
+fn enroll(
+    shared: &Shared,
+    subject: [u8; 16],
+    point: &[u8; 33],
+) -> Result<Frame, Option<ErrorCode>> {
+    let point =
+        AffinePoint::from_bytes_compressed(point).map_err(|_| Some(ErrorCode::EnrollRefused))?;
+    let request = CertRequest {
+        subject: DeviceId::from_bytes(subject),
+        point,
+    };
+    let mut rng = shared
+        .issue_rng
+        .lock()
+        .map_err(|_| Some(ErrorCode::EnrollRefused))?;
+    let issued = shared
+        .ca
+        .issue(&request, shared.valid_from, shared.valid_to, &mut rng)
+        .map_err(|_| Some(ErrorCode::EnrollRefused))?;
+    Ok(Frame::EnrollIssued {
+        cert: issued.certificate.to_bytes(),
+        recon_private: issued.recon_private.to_be_bytes(),
+    })
+}
+
+fn handshake(
+    shared: &Shared,
+    stream: &mut ServiceStream,
+    source: &mut FrameSource,
+    seed: &[u8; 32],
+    variant: u8,
+    now: u32,
+) -> Result<(), Option<ErrorCode>> {
+    let variant = variant_from_code(variant).ok_or(Some(ErrorCode::BadFrame))?;
+    let config = StsConfig { now, variant };
+    // The responder RNG stream is derived exactly as
+    // `ecq_sts::establish` derives it from the session seed, which is
+    // what makes socket transcripts comparable to simulator runs.
+    let mut rng = HmacDrbg::new(seed, b"sts-responder");
+    let mut responder = StsResponder::new(shared.responder.clone(), config, &mut rng);
+    while !responder.is_established() {
+        let message = match source.next(stream, shared) {
+            Outcome::Frame(Frame::HsMessage(message)) => message,
+            Outcome::Frame(_) => return Err(Some(ErrorCode::BadFrame)),
+            Outcome::Deadline => return Err(Some(ErrorCode::Deadline)),
+            Outcome::Shutdown => return Err(Some(ErrorCode::ShuttingDown)),
+            Outcome::Closed => return Err(None),
+            Outcome::Bad => return Err(Some(ErrorCode::BadFrame)),
+        };
+        match responder.step(Some(&message)) {
+            Ok(StepOutput::Send(reply)) => {
+                write_frame(stream, &Frame::HsMessage(reply)).map_err(|_| None)?;
+            }
+            Ok(StepOutput::Wait) | Ok(StepOutput::Established) => {}
+            Err(_) => return Err(Some(ErrorCode::HandshakeFailed)),
+        }
+    }
+    Ok(())
+}
+
+fn crl_response(shared: &Shared) -> Result<Frame, Option<ErrorCode>> {
+    let crl = shared
+        .crl
+        .lock()
+        .map_err(|_| Some(ErrorCode::BadFrame))?
+        .to_bytes();
+    let signature = shared.ca.sign_revocation_list(&crl).to_bytes().to_vec();
+    Ok(Frame::CrlResponse { crl, signature })
+}

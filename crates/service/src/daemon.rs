@@ -1,0 +1,275 @@
+//! The long-running CA + responder daemon.
+
+use crate::config::{BindAddr, ServiceConfig};
+use crate::connection::handle_connection;
+use crate::error::ServiceError;
+use crate::stream::ServiceStream;
+use ecq_cert::ca::CertificateAuthority;
+use ecq_cert::revocation::RevocationList;
+use ecq_cert::DeviceId;
+use ecq_crypto::HmacDrbg;
+use ecq_proto::Credentials;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The address a started daemon actually listens on (the config may
+/// have asked for an ephemeral port).
+#[derive(Clone, Debug)]
+pub enum ServiceAddr {
+    /// Bound TCP address.
+    Tcp(std::net::SocketAddr),
+    /// Bound Unix-domain socket path.
+    #[cfg(unix)]
+    Unix(std::path::PathBuf),
+}
+
+/// Monotonic connection-loop counters, readable while the daemon runs.
+#[derive(Debug, Default)]
+pub(crate) struct Stats {
+    pub connections: AtomicU64,
+    pub handshakes: AtomicU64,
+    pub enrollments: AtomicU64,
+    pub crl_fetches: AtomicU64,
+    pub errors: AtomicU64,
+}
+
+/// A point-in-time copy of the daemon counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Handshakes completed (responder reached establishment).
+    pub handshakes: u64,
+    /// Certificates issued.
+    pub enrollments: u64,
+    /// CRL fetches served.
+    pub crl_fetches: u64,
+    /// Connections that ended with a typed error frame.
+    pub errors: u64,
+}
+
+/// State shared between the accept loop and every connection worker.
+pub(crate) struct Shared {
+    pub ca: CertificateAuthority,
+    pub responder: Credentials,
+    pub crl: Mutex<RevocationList>,
+    /// Serial + blinding RNG for issuance; the lock serializes draws so
+    /// issuance order alone determines the certificate stream.
+    pub issue_rng: Mutex<HmacDrbg>,
+    pub valid_from: u32,
+    pub valid_to: u32,
+    pub read_timeout: Duration,
+    pub write_timeout: Duration,
+    pub shutdown: AtomicBool,
+    pub stats: Stats,
+}
+
+enum Listener {
+    Tcp(std::net::TcpListener),
+    #[cfg(unix)]
+    Unix(std::os::unix::net::UnixListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<ServiceStream> {
+        match self {
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                let _ = stream.set_nodelay(true);
+                Ok(ServiceStream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                Ok(ServiceStream::Unix(stream))
+            }
+        }
+    }
+}
+
+/// A running CA + responder daemon.
+///
+/// The daemon owns one accept thread and one worker thread per live
+/// connection. [`ServiceDaemon::shutdown`] (also run on drop) flips
+/// the shared shutdown flag, unblocks the accept loop, and joins every
+/// worker; in-flight connections receive a typed `ShuttingDown` error
+/// frame at their next read tick.
+pub struct ServiceDaemon {
+    shared: Arc<Shared>,
+    addr: ServiceAddr,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceDaemon {
+    /// Starts a daemon whose CA and responder credentials are derived
+    /// deterministically from `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when provisioning fails or the listener cannot
+    /// bind.
+    pub fn start(config: ServiceConfig) -> Result<Self, ServiceError> {
+        let mut rng = HmacDrbg::from_seed(config.seed);
+        let ca = CertificateAuthority::new(DeviceId::from_label("service-ca"), &mut rng);
+        let responder = Credentials::provision(
+            &ca,
+            DeviceId::from_label("service-responder"),
+            config.valid_from,
+            config.valid_to,
+            &mut rng,
+        )?;
+        Self::start_with(config, ca, responder)
+    }
+
+    /// Starts a daemon with injected CA and responder credentials.
+    ///
+    /// This is the hook the transcript-equivalence test uses: it builds
+    /// the *same* CA and credentials a simulator run derives, so the
+    /// only difference between the socket path and the in-memory path
+    /// is the transport.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError`] when the listener cannot bind.
+    pub fn start_with(
+        config: ServiceConfig,
+        ca: CertificateAuthority,
+        responder: Credentials,
+    ) -> Result<Self, ServiceError> {
+        // Issuance draws continue an independent stream personalized by
+        // the CA identity, so injected-credential daemons still issue.
+        let mut seed_rng = HmacDrbg::from_seed(config.seed);
+        let issue_rng = HmacDrbg::new(&seed_rng.bytes32(), b"service-issue");
+        let (listener, addr) = bind(&config.bind)?;
+        let shared = Arc::new(Shared {
+            ca,
+            responder,
+            crl: Mutex::new(RevocationList::new()),
+            issue_rng: Mutex::new(issue_rng),
+            valid_from: config.valid_from,
+            valid_to: config.valid_to,
+            read_timeout: config.read_timeout,
+            write_timeout: config.write_timeout,
+            shutdown: AtomicBool::new(false),
+            stats: Stats::default(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("ecq-service-accept".into())
+            .spawn(move || accept_loop(&accept_shared, listener))?;
+        Ok(ServiceDaemon {
+            shared,
+            addr,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound listener address.
+    pub fn addr(&self) -> &ServiceAddr {
+        &self.addr
+    }
+
+    /// The CA public key clients authenticate against.
+    pub fn ca_public(&self) -> ecq_p256::point::AffinePoint {
+        self.shared.ca.public_key()
+    }
+
+    /// Revokes a certificate serial in the served CRL. Returns whether
+    /// the serial was newly added.
+    pub fn revoke(&self, serial: u64) -> bool {
+        match self.shared.crl.lock() {
+            Ok(mut crl) => crl.revoke(serial),
+            Err(_) => false,
+        }
+    }
+
+    /// A snapshot of the connection-loop counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.shared.stats;
+        StatsSnapshot {
+            connections: s.connections.load(Ordering::Relaxed),
+            handshakes: s.handshakes.load(Ordering::Relaxed),
+            enrollments: s.enrollments.load(Ordering::Relaxed),
+            crl_fetches: s.crl_fetches.load(Ordering::Relaxed),
+            errors: s.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, notifies in-flight connections and joins every
+    /// worker thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        match &self.addr {
+            ServiceAddr::Tcp(addr) => {
+                let _ = std::net::TcpStream::connect_timeout(addr, Duration::from_secs(1));
+            }
+            #[cfg(unix)]
+            ServiceAddr::Unix(path) => {
+                let _ = std::os::unix::net::UnixStream::connect(path);
+            }
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let ServiceAddr::Unix(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServiceDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn bind(bind: &BindAddr) -> Result<(Listener, ServiceAddr), ServiceError> {
+    match bind {
+        BindAddr::Tcp(addr) => {
+            let listener = std::net::TcpListener::bind(addr.as_str())?;
+            let local = listener.local_addr()?;
+            Ok((Listener::Tcp(listener), ServiceAddr::Tcp(local)))
+        }
+        #[cfg(unix)]
+        BindAddr::Unix(path) => {
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)?;
+            Ok((Listener::Unix(listener), ServiceAddr::Unix(path.clone())))
+        }
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: Listener) {
+    let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = listener.accept();
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue, // transient accept failure; keep serving
+        };
+        let worker_shared = Arc::clone(shared);
+        let spawned = std::thread::Builder::new()
+            .name("ecq-service-conn".into())
+            .spawn(move || handle_connection(&worker_shared, stream));
+        match spawned {
+            Ok(handle) => workers.push(handle),
+            Err(_) => {
+                // Thread exhaustion: drop the connection rather than
+                // the daemon.
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Reap finished workers so the handle list tracks live
+        // connections instead of connection history.
+        workers.retain(|h| !h.is_finished());
+    }
+    for handle in workers {
+        let _ = handle.join();
+    }
+}

@@ -30,7 +30,7 @@ use crate::isotp::{flow_control_frame, segment, IsoTpConfig, Reassembler};
 use crate::{ms_to_ns, SimNanos};
 use ecq_devices::DeviceProfile;
 use ecq_proto::transport::{DirectionalQueues, Transport, TransportTime};
-use ecq_proto::{Message, Role};
+use ecq_proto::{Message, Role, TransportError};
 
 /// Per-frame driver overhead of the two endpoints, in nanoseconds
 /// (indexed by [`role_index`]).
@@ -121,7 +121,12 @@ impl Transport for CanLink {
     /// Panics if the reassembled bytes do not reproduce the submitted
     /// message — that would be a transport-stack bug, never an input
     /// condition (handshake messages are far below the ISO-TP limit).
-    fn send(&mut self, from: Role, message: Message, now_us: TransportTime) -> TransportTime {
+    fn send_frame(
+        &mut self,
+        from: Role,
+        message: Message,
+        now_us: TransportTime,
+    ) -> Result<TransportTime, TransportError> {
         let config = self.isotp[role_index(from)];
         let encoded = message.encode();
         let payload = AppMessage::handshake(self.session_id, encoded.clone()).encode();
@@ -175,12 +180,18 @@ impl Transport for CanLink {
         // the direction (a small late message can otherwise undercut a
         // still-in-flight multi-frame one, since the FC round and
         // receiver overhead are accounted analytically off-bus).
-        self.queues
-            .push(from.peer(), last_ns.div_ceil(1_000).max(now_us), message)
+        Ok(self
+            .queues
+            .push(from.peer(), last_ns.div_ceil(1_000).max(now_us), message))
     }
 
-    fn recv(&mut self, to: Role, now_us: TransportTime) -> Option<Message> {
-        self.queues.pop_due(to, now_us)
+    fn recv_frame(
+        &mut self,
+        to: Role,
+        now_us: TransportTime,
+        _deadline_us: TransportTime,
+    ) -> Result<Option<Message>, TransportError> {
+        Ok(self.queues.pop_due(to, now_us))
     }
 
     fn next_delivery(&self, to: Role) -> Option<TransportTime> {
@@ -227,10 +238,16 @@ mod tests {
     fn typed_message_survives_the_byte_path() {
         let mut link = CanLink::new(42);
         let msg = sts_b1();
-        let at = link.send(Role::Responder, msg.clone(), 0);
+        let at = link.send_frame(Role::Responder, msg.clone(), 0).unwrap();
         assert!(at > 0, "frame time must be positive");
-        assert!(link.recv(Role::Initiator, at - 1).is_none());
-        assert_eq!(link.recv(Role::Initiator, at).unwrap(), msg);
+        assert!(link
+            .recv_frame(Role::Initiator, at - 1, at - 1)
+            .unwrap()
+            .is_none());
+        assert_eq!(
+            link.recv_frame(Role::Initiator, at, at).unwrap().unwrap(),
+            msg
+        );
         assert_eq!(link.bytes_carried(), 245);
         // 245 B + 4 B app header → FF + 3 CFs.
         assert_eq!(link.frames_carried(), 4);
@@ -241,22 +258,22 @@ mod tests {
         // The paper: CAN-FD transfer was "negligible (<1 ms)"; our
         // model with the FC round lands under 2 ms for the 245 B B1.
         let mut link = CanLink::new(1);
-        let at = link.send(Role::Responder, sts_b1(), 0);
+        let at = link.send_frame(Role::Responder, sts_b1(), 0).unwrap();
         assert!(at < 2_000, "B1 took {at} µs");
         let mut link = CanLink::new(1);
-        let at = link.send(Role::Responder, ack(), 0);
+        let at = link.send_frame(Role::Responder, ack(), 0).unwrap();
         assert!(at < 500, "ACK took {at} µs");
     }
 
     #[test]
     fn bus_occupancy_serializes_directions() {
         let mut link = CanLink::new(1);
-        let t1 = link.send(Role::Initiator, sts_b1(), 0);
+        let t1 = link.send_frame(Role::Initiator, sts_b1(), 0).unwrap();
         // Submitted while the bus is still moving the first message:
         // the second must wait for the medium.
         let mut exclusive = CanLink::new(1);
-        let t2_alone = exclusive.send(Role::Responder, sts_b1(), 0);
-        let t2_contended = link.send(Role::Responder, sts_b1(), 0);
+        let t2_alone = exclusive.send_frame(Role::Responder, sts_b1(), 0).unwrap();
+        let t2_contended = link.send_frame(Role::Responder, sts_b1(), 0).unwrap();
         assert!(t2_contended > t2_alone);
         assert!(t2_contended > t1);
     }
@@ -268,8 +285,8 @@ mod tests {
         let slow = DevicePreset::ATmega2560.profile();
         let mut plain = CanLink::new(1);
         let mut loaded = CanLink::for_pair(1, &fast, &slow);
-        let t_plain = plain.send(Role::Initiator, sts_b1(), 0);
-        let t_loaded = loaded.send(Role::Initiator, sts_b1(), 0);
+        let t_plain = plain.send_frame(Role::Initiator, sts_b1(), 0).unwrap();
+        let t_loaded = loaded.send_frame(Role::Initiator, sts_b1(), 0).unwrap();
         assert!(t_loaded > t_plain);
     }
 
@@ -282,19 +299,31 @@ mod tests {
         use ecq_devices::DevicePreset;
         let slow = DevicePreset::ATmega2560.profile();
         let mut link = CanLink::for_pair(1, &slow, &slow);
-        let t_big = link.send(Role::Initiator, sts_b1(), 0);
-        let t_small = link.send(Role::Initiator, ack(), 0);
+        let t_big = link.send_frame(Role::Initiator, sts_b1(), 0).unwrap();
+        let t_small = link.send_frame(Role::Initiator, ack(), 0).unwrap();
         assert!(t_small >= t_big, "FIFO per direction: {t_small} < {t_big}");
-        assert_eq!(link.recv(Role::Responder, t_small).unwrap().step, "B1");
-        assert_eq!(link.recv(Role::Responder, t_small).unwrap().step, "B2");
+        assert_eq!(
+            link.recv_frame(Role::Responder, t_small, t_small)
+                .unwrap()
+                .unwrap()
+                .step,
+            "B1"
+        );
+        assert_eq!(
+            link.recv_frame(Role::Responder, t_small, t_small)
+                .unwrap()
+                .unwrap()
+                .step,
+            "B2"
+        );
     }
 
     #[test]
     fn link_is_deterministic() {
         let run = || {
             let mut link = CanLink::new(9);
-            let a = link.send(Role::Initiator, ack(), 10);
-            let b = link.send(Role::Responder, sts_b1(), a);
+            let a = link.send_frame(Role::Initiator, ack(), 10).unwrap();
+            let b = link.send_frame(Role::Responder, sts_b1(), a).unwrap();
             (a, b)
         };
         assert_eq!(run(), run());
@@ -303,12 +332,24 @@ mod tests {
     #[test]
     fn fifo_and_next_delivery() {
         let mut link = CanLink::new(3);
-        let t1 = link.send(Role::Initiator, ack(), 0);
-        let t2 = link.send(Role::Initiator, sts_b1(), t1);
+        let t1 = link.send_frame(Role::Initiator, ack(), 0).unwrap();
+        let t2 = link.send_frame(Role::Initiator, sts_b1(), t1).unwrap();
         assert_eq!(link.next_delivery(Role::Responder), Some(t1));
-        assert_eq!(link.recv(Role::Responder, t2).unwrap().step, "B2");
+        assert_eq!(
+            link.recv_frame(Role::Responder, t2, t2)
+                .unwrap()
+                .unwrap()
+                .step,
+            "B2"
+        );
         assert_eq!(link.next_delivery(Role::Responder), Some(t2));
-        assert_eq!(link.recv(Role::Responder, t2).unwrap().step, "B1");
+        assert_eq!(
+            link.recv_frame(Role::Responder, t2, t2)
+                .unwrap()
+                .unwrap()
+                .step,
+            "B1"
+        );
         assert_eq!(link.next_delivery(Role::Responder), None);
         assert_eq!(link.messages_carried(), 2);
     }

@@ -7,6 +7,7 @@
 #   ./scripts/verify.sh fleet    # interleaved fleet smoke   (CI `fleet-smoke`)
 #   ./scripts/verify.sh ctlint   # multi-pass static analysis (CI `ctlint`)
 #   ./scripts/verify.sh scenario # adversarial conformance    (CI `scenario`)
+#   ./scripts/verify.sh service  # socket daemon + load smoke (CI `service`)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -103,6 +104,23 @@ run_scenario() {
   cargo test --release -q -p ecq_fleet --test fault_soundness -- --ignored
 }
 
+run_service() {
+  # Real-socket service mode: the wire-format fuzz gate, the
+  # socket-vs-channel transcript equality proptest, the full
+  # client/daemon integration suite, and a loopback load smoke with
+  # >= 1000 concurrent connections (BENCH_service.json artifact).
+  echo "==> wire-format decoder fuzz + golden frame fixtures"
+  cargo test --release -q -p ecq_proto --test framing_fuzz --test golden_frames
+
+  echo "==> service integration + transcript byte-equality suite"
+  cargo test --release -q -p ecq_service
+
+  echo "==> service load smoke (1000 concurrent loopback connections)"
+  cargo run --release -q -p ecq_bench --bin service_load -- \
+    --connections 1000 \
+    --json BENCH_service.json
+}
+
 case "$mode" in
   all)
     run_test
@@ -110,7 +128,8 @@ case "$mode" in
     run_ctlint
     run_fleet
     run_scenario
-    echo "OK: build, tests, fmt, clippy, docs, ctlint, fleet smoke, scenarios all green"
+    run_service
+    echo "OK: build, tests, fmt, clippy, docs, ctlint, fleet smoke, scenarios, service all green"
     ;;
   test)
     run_test
@@ -132,8 +151,12 @@ case "$mode" in
     run_scenario
     echo "OK: adversarial conformance green"
     ;;
+  service)
+    run_service
+    echo "OK: service mode green (fuzz, transcripts, load smoke)"
+    ;;
   *)
-    echo "usage: $0 [all|lint|test|ctlint|fleet|scenario]" >&2
+    echo "usage: $0 [all|lint|test|ctlint|fleet|scenario|service]" >&2
     exit 2
     ;;
 esac

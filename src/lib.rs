@@ -24,6 +24,9 @@
 //!   a deterministic scheduler,
 //! * [`simnet`] (`ecq_simnet`) — CAN-FD + ISO 15765-2 network
 //!   simulation,
+//! * [`service`] (`ecq_service`) — real-socket service mode: CA +
+//!   responder daemon over TCP/Unix sockets with a versioned wire
+//!   format,
 //! * [`bms`] (`ecq_bms`) — the BMS↔EVCC automotive prototype,
 //! * [`analysis`] (`ecq_analysis`) — threat model, Table III and
 //!   executable attacks.
@@ -56,6 +59,7 @@ pub use ecq_devices as devices;
 pub use ecq_fleet as fleet;
 pub use ecq_p256 as p256;
 pub use ecq_proto as proto;
+pub use ecq_service as service;
 pub use ecq_simnet as simnet;
 pub use ecq_sts as sts;
 
@@ -66,5 +70,6 @@ pub mod prelude {
     pub use ecq_devices::DevicePreset;
     pub use ecq_fleet::{FleetConfig, FleetCoordinator, FleetReport, SweepOptions, TransportKind};
     pub use ecq_proto::{Credentials, ProtocolKind, SessionKey};
+    pub use ecq_service::{ServiceClient, ServiceConfig, ServiceDaemon};
     pub use ecq_sts::{establish, StsConfig, StsVariant};
 }

@@ -84,13 +84,13 @@ fn devices_adopt_only_newer_lists() {
 /// Builds the stale-CRL window fleet: four S32K144 devices, two
 /// sessions on one shared bus, revocation targeting session 0.
 fn window_fleet() -> FleetCoordinator {
-    let mut fleet = FleetCoordinator::new(FleetConfig {
-        devices: 4,
-        ca_shards: 1,
-        enroll_batch: 4,
-        seed: 0x57A1E,
-        ..FleetConfig::default()
-    });
+    let mut fleet = FleetCoordinator::new(
+        FleetConfig::new()
+            .devices(4)
+            .ca_shards(1)
+            .enroll_batch(4)
+            .seed(0x57A1E),
+    );
     fleet.set_preset_all(DevicePreset::S32K144);
     fleet.enroll_all().unwrap();
     fleet
@@ -100,20 +100,20 @@ fn window_sweep(window_end_us: Option<u64>) -> FleetCoordinator {
     use dynamic_ecqv::fleet::RevocationSpec;
     use dynamic_ecqv::simnet::FaultSpec;
     let mut fleet = window_fleet();
-    let opts = SweepOptions {
-        threads: 1,
-        transport: TransportKind::SharedBus { group: 2 },
-        faults: FaultSpec {
+    let mut opts = SweepOptions::new()
+        .threads(1)
+        .transport(TransportKind::SharedBus { group: 2 })
+        .faults(FaultSpec {
             deadline_us: 30_000_000,
             ..FaultSpec::none()
-        },
-        revocation: window_end_us.map(|end| RevocationSpec {
+        });
+    if let Some(end) = window_end_us {
+        opts = opts.revocation(RevocationSpec {
             session: 0,
             at_us: 0,
             propagation_us: end,
-        }),
-        ..SweepOptions::default()
-    };
+        });
+    }
     let _ = fleet.interleaved_sweep(&opts);
     fleet
 }
