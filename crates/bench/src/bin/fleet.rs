@@ -17,8 +17,23 @@
 //! count, fails (exit 1) if any `(config, seed)` report differs across
 //! thread counts, writes the `BENCH_fleet.json` artifact, and — when a
 //! baseline is given — fails if host handshake throughput regressed
-//! more than `--gate-pct` percent. Regenerate the committed baseline on
-//! a CI-class runner with `--write-baseline ci/BENCH_fleet_baseline.json`.
+//! more than `--gate-pct` percent (and, for baselines that record
+//! `peak_rss_bytes`, if peak RSS exceeded the baseline by the same
+//! margin). Regenerate the committed baseline on a CI-class runner with
+//! `--write-baseline ci/BENCH_fleet_baseline.json`.
+//!
+//! ```sh
+//! # Million-device tier: bounded-memory streaming sweep + RSS gate
+//! cargo run --release --bin fleet -- --smoke --mega --threads 1,2 \
+//!     --json BENCH_fleet_mega.json --baseline ci/BENCH_fleet_mega_baseline.json
+//! ```
+//!
+//! `--mega` switches to `FleetCoordinator::streaming_sweep` (defaults:
+//! 1,000,000 devices, `--max-inflight 4096`): enrollment is produced
+//! lazily inside the sweep and resident state is bounded by the
+//! admission window, so the run completes in a flat memory profile that
+//! `peak_rss_bytes` records. Reports stay bit-identical to the
+//! materialized path for any thread count and window.
 //!
 //! `--scenario <name>` runs one named adversarial scenario from the
 //! shared-bus fault catalog against the BMS charging fleet and reports
@@ -38,6 +53,8 @@ struct Args {
     epochs: u32,
     seed: u64,
     threads: Vec<usize>,
+    max_inflight: usize,
+    mega: bool,
     json: Option<String>,
     baseline: Option<String>,
     write_baseline: Option<String>,
@@ -55,6 +72,8 @@ impl Default for Args {
             epochs: 2,
             seed: 0xF1EE7,
             threads: vec![1, 2, 8],
+            max_inflight: usize::MAX,
+            mega: false,
             json: None,
             baseline: None,
             write_baseline: None,
@@ -67,12 +86,14 @@ impl Default for Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
+    let (mut devices_given, mut inflight_given) = (false, false);
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--devices" => {
-                args.devices = value("--devices")?.parse().map_err(|e| format!("{e}"))?
+                args.devices = value("--devices")?.parse().map_err(|e| format!("{e}"))?;
+                devices_given = true;
             }
             "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
             "--batch" => args.batch = value("--batch")?.parse().map_err(|e| format!("{e}"))?,
@@ -87,6 +108,13 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--threads needs at least one count".into());
                 }
             }
+            "--max-inflight" => {
+                args.max_inflight = value("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?;
+                inflight_given = true;
+            }
+            "--mega" => args.mega = true,
             "--json" => args.json = Some(value("--json")?),
             "--baseline" => args.baseline = Some(value("--baseline")?),
             "--write-baseline" => args.write_baseline = Some(value("--write-baseline")?),
@@ -102,7 +130,37 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    // `--mega` is the million-device streaming preset; explicit flags
+    // still win so smaller streaming runs stay one command.
+    if args.mega {
+        if !devices_given {
+            args.devices = 1_000_000;
+        }
+        if !inflight_given {
+            args.max_inflight = 4096;
+        }
+    }
     Ok(args)
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where the proc interface is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 fn config(args: &Args) -> FleetConfig {
@@ -113,20 +171,28 @@ fn config(args: &Args) -> FleetConfig {
         .seed(args.seed)
 }
 
-/// One interleaved establishment sweep; returns the report and the
-/// sweep's host wall-clock seconds.
+/// One establishment sweep; returns the report and the timed host
+/// wall-clock seconds. `--mega` uses the bounded-memory streaming
+/// pipeline, where enrollment is produced lazily *inside* the sweep —
+/// its wall-clock (and thus hs/s) covers enrollment + establishment,
+/// not establishment alone, so mega numbers gate against their own
+/// baseline.
 fn interleaved_run(args: &Args, threads: usize) -> (FleetReport, f64) {
+    let opts = SweepOptions::new()
+        .threads(threads)
+        .transport(TransportKind::Simnet)
+        .max_inflight(args.max_inflight);
     let mut fleet = FleetCoordinator::new(config(args));
-    fleet.enroll_all().expect("enrollment");
-    let t = Instant::now();
-    fleet
-        .interleaved_sweep(
-            &SweepOptions::new()
-                .threads(threads)
-                .transport(TransportKind::Simnet),
-        )
-        .expect("interleaved sweep");
-    (fleet.report().clone(), t.elapsed().as_secs_f64())
+    if args.mega {
+        let t = Instant::now();
+        fleet.streaming_sweep(&opts).expect("streaming sweep");
+        (fleet.report().clone(), t.elapsed().as_secs_f64())
+    } else {
+        fleet.enroll_all().expect("enrollment");
+        let t = Instant::now();
+        fleet.interleaved_sweep(&opts).expect("interleaved sweep");
+        (fleet.report().clone(), t.elapsed().as_secs_f64())
+    }
 }
 
 fn hex(bytes: &[u8]) -> String {
@@ -139,16 +205,25 @@ fn bench_json(
     deterministic: bool,
     hs_per_sec: f64,
     best_threads: usize,
+    peak_rss: u64,
 ) -> String {
     let digest = report.key_digest.map(|d| hex(&d)).unwrap_or_default();
     let threads: Vec<String> = args.threads.iter().map(|t| t.to_string()).collect();
+    let max_inflight = if args.max_inflight == usize::MAX {
+        "null".to_string()
+    } else {
+        args.max_inflight.to_string()
+    };
     format!(
-        "{{\n  \"schema\": \"bench-fleet-v1\",\n  \"devices\": {},\n  \"shards\": {},\n  \"seed\": {},\n  \"sessions\": {},\n  \"threads\": [{}],\n  \"deterministic\": {},\n  \"handshakes_per_sec_host\": {:.2},\n  \"best_thread_count\": {},\n  \"virtual_makespan_us\": {},\n  \"virtual_handshakes_per_sec\": {:.2},\n  \"messages\": {},\n  \"wire_bytes\": {},\n  \"can_frames\": {},\n  \"key_digest\": \"{}\"\n}}\n",
+        "{{\n  \"schema\": \"bench-fleet-v2\",\n  \"devices\": {},\n  \"shards\": {},\n  \"seed\": {},\n  \"sessions\": {},\n  \"threads\": [{}],\n  \"streaming\": {},\n  \"max_inflight\": {},\n  \"peak_rss_bytes\": {},\n  \"deterministic\": {},\n  \"handshakes_per_sec_host\": {:.2},\n  \"best_thread_count\": {},\n  \"virtual_makespan_us\": {},\n  \"virtual_handshakes_per_sec\": {:.2},\n  \"messages\": {},\n  \"wire_bytes\": {},\n  \"can_frames\": {},\n  \"key_digest\": \"{}\"\n}}\n",
         report.devices,
         report.shards,
         args.seed,
         report.sessions,
         threads.join(", "),
+        args.mega,
+        max_inflight,
+        peak_rss,
         deterministic,
         hs_per_sec,
         best_threads,
@@ -161,28 +236,35 @@ fn bench_json(
     )
 }
 
-/// Pulls `"handshakes_per_sec_host": <f64>` out of a baseline file
-/// (hand-rolled: the workspace carries no JSON dependency).
-fn baseline_throughput(path: &str) -> Result<f64, String> {
+/// Pulls `"<key>": <number>` out of a baseline file (hand-rolled: the
+/// workspace carries no JSON dependency).
+fn baseline_field(path: &str, key: &str) -> Result<f64, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let key = "\"handshakes_per_sec_host\":";
+    let needle = format!("\"{key}\":");
     let at = text
-        .find(key)
-        .ok_or_else(|| format!("{path}: no handshakes_per_sec_host field"))?;
-    let rest = text[at + key.len()..]
+        .find(&needle)
+        .ok_or_else(|| format!("{path}: no {key} field"))?;
+    let rest = text[at + needle.len()..]
         .trim_start()
         .split(|c: char| c == ',' || c == '}' || c.is_whitespace())
         .next()
         .unwrap_or_default();
     rest.parse()
-        .map_err(|e| format!("{path}: bad throughput number: {e}"))
+        .map_err(|e| format!("{path}: bad {key} number: {e}"))
 }
 
-/// CI smoke: thread-count determinism check + artifact + perf gate.
+/// CI smoke: thread-count determinism check + artifact + perf/RSS gates.
 fn smoke(args: &Args) -> ExitCode {
     println!(
-        "fleet smoke: {} devices, {} shards, interleaved simnet sweep, threads {:?}",
-        args.devices, args.shards, args.threads
+        "fleet smoke: {} devices, {} shards, {} simnet sweep, threads {:?}",
+        args.devices,
+        args.shards,
+        if args.mega {
+            "streaming (bounded-memory)"
+        } else {
+            "interleaved"
+        },
+        args.threads
     );
     let mut reference: Option<FleetReport> = None;
     let mut deterministic = true;
@@ -225,9 +307,17 @@ fn smoke(args: &Args) -> ExitCode {
         );
     }
 
+    let peak_rss = peak_rss_bytes();
+    if peak_rss > 0 {
+        println!(
+            "  peak RSS: {:.1} MiB across all runs",
+            peak_rss as f64 / (1024.0 * 1024.0)
+        );
+    }
+
     // Write the artifact before any gate verdict: when CI goes red, the
     // numbers explaining why must survive as the uploaded artifact.
-    let json = bench_json(args, &report, deterministic, best.1, best.0);
+    let json = bench_json(args, &report, deterministic, best.1, best.0, peak_rss);
     for path in args.json.iter().chain(args.write_baseline.iter()) {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("cannot write {path}: {e}");
@@ -240,7 +330,7 @@ fn smoke(args: &Args) -> ExitCode {
     }
 
     if let Some(path) = &args.baseline {
-        match baseline_throughput(path) {
+        match baseline_field(path, "handshakes_per_sec_host") {
             Ok(floor_src) => {
                 let floor = floor_src * (1.0 - args.gate_pct / 100.0);
                 println!(
@@ -261,6 +351,34 @@ fn smoke(args: &Args) -> ExitCode {
                 eprintln!("cannot evaluate perf gate: {e}");
                 return ExitCode::FAILURE;
             }
+        }
+        // Memory gate: when the baseline records a peak RSS (streaming
+        // tiers do), the measured high-water mark may not exceed it by
+        // more than the gate percentage — the bounded-memory contract,
+        // enforced with the same headroom as throughput.
+        match baseline_field(path, "peak_rss_bytes") {
+            Ok(baseline_rss) if baseline_rss > 0.0 && peak_rss > 0 => {
+                let ceiling = baseline_rss * (1.0 + args.gate_pct / 100.0);
+                println!(
+                    "  rss gate: {:.1} MiB measured vs {:.1} MiB ceiling \
+                     (baseline {:.1} MiB + {}%)",
+                    peak_rss as f64 / (1024.0 * 1024.0),
+                    ceiling / (1024.0 * 1024.0),
+                    baseline_rss / (1024.0 * 1024.0),
+                    args.gate_pct
+                );
+                if peak_rss as f64 > ceiling {
+                    eprintln!(
+                        "MEMORY REGRESSION: peak RSS {} bytes is more than {}% above the \
+                         committed baseline {baseline_rss:.0} bytes ({path})",
+                        peak_rss, args.gate_pct
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            // v1 baselines carry no RSS field; the throughput gate
+            // above remains the only verdict.
+            _ => {}
         }
     }
     println!("fleet smoke OK");
@@ -341,7 +459,14 @@ fn full_run(args: &Args) -> ExitCode {
 
     // Interleaved establishment over the simnet transport.
     let (report, wall) = interleaved_run(args, threads);
-    println!("interleaved simnet sweep ({threads} host threads, message-granularity events):");
+    println!(
+        "{} simnet sweep ({threads} host threads, message-granularity events):",
+        if args.mega {
+            "streaming (bounded-memory)"
+        } else {
+            "interleaved"
+        }
+    );
     println!(
         "  handshakes : {:8.0} hs/s      ({} sessions in {:.2?}; {} wire messages, {} CAN frames)",
         report.handshakes as f64 / wall.max(1e-9),
@@ -355,6 +480,20 @@ fn full_run(args: &Args) -> ExitCode {
         report.handshakes_per_virtual_sec(),
         report.handshake_makespan_us as f64 / 1e6,
     );
+    if args.mega {
+        // The streaming tier never materializes the fleet, so the
+        // atomic-lifecycle and per-board comparisons below (which do)
+        // are out of scope for it.
+        let peak = peak_rss_bytes();
+        if peak > 0 {
+            println!(
+                "  peak RSS   : {:8.1} MiB      (admission window {})",
+                peak as f64 / (1024.0 * 1024.0),
+                args.max_inflight,
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
 
     // Legacy atomic lifecycle (enroll + sweep + rekey epochs).
     let mut fleet = FleetCoordinator::new(config(args));

@@ -128,3 +128,27 @@ pub fn reconstruct_public_key(
     }
     Ok(q)
 }
+
+/// [`reconstruct_public_key`] without the final affine normalization:
+/// the same eq. (1) ladder, left in Jacobian coordinates so batch
+/// verifiers ([`requester::CertRequester::reconstruct_batch`]) can
+/// amortize the inversion across a whole enrollment batch with
+/// [`ecq_p256::point::batch_normalize`]. The curve-equation check of
+/// the affine path runs after normalization, on the caller's side.
+///
+/// # Errors
+///
+/// [`CertError::InvalidPoint`] when the certificate's embedded point
+/// is invalid or the derived key is the point at infinity.
+pub fn reconstruct_public_key_jacobian(
+    cert: &ImplicitCert,
+    ca_public: &AffinePoint,
+) -> Result<ecq_p256::point::JacobianPoint, CertError> {
+    let e = cert_hash(cert);
+    let p_u = cert.reconstruction_point()?;
+    let q = ecq_p256::point::multi_scalar_mul_jacobian(&e, &p_u, &Scalar::one(), ca_public);
+    if q.is_identity() {
+        return Err(CertError::InvalidPoint);
+    }
+    Ok(q)
+}

@@ -2,11 +2,13 @@
 
 use crate::ca::IssuedCert;
 use crate::id::DeviceId;
-use crate::{cert_hash, reconstruct_public_key, CertError};
+use crate::{cert_hash, reconstruct_public_key, reconstruct_public_key_jacobian, CertError};
 use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_p256::keys::KeyPair;
-use ecq_p256::point::{mul_generator_ct, AffinePoint};
+use ecq_p256::point::{
+    batch_normalize, mul_generator_ct, mul_generator_ct_jacobian, AffinePoint, JacobianPoint,
+};
 use ecq_p256::scalar::Scalar;
 
 /// The public part of a certificate request: `(U, R_U)`.
@@ -76,14 +78,75 @@ impl CertRequester {
             return Err(CertError::ReconstructionMismatch);
         }
         let q_u = reconstruct_public_key(&issued.certificate, ca_public)?;
-        // d_U is the reconstructed private key: possession check on ct.
-        if mul_generator_ct(&d_u) != q_u {
+        // d_U is the reconstructed private key: possession check on the
+        // ct path, compared in the projective equivalence class so the
+        // check costs no second field inversion.
+        if mul_generator_ct_jacobian(&d_u) != JacobianPoint::from_affine(&q_u) {
             return Err(CertError::ReconstructionMismatch);
         }
         Ok(KeyPair {
             private: d_u,
             public: q_u,
         })
+    }
+
+    /// Batch [`Self::reconstruct`]: the whole enrollment batch shares
+    /// one field inversion for the final affine normalization of the
+    /// eq. (1) outputs (Montgomery's trick, the device-side mirror of
+    /// [`crate::ca::CertificateAuthority::issue_batch`]'s amortized
+    /// issuance), and every possession check compares in the projective
+    /// equivalence class instead of normalizing. Results are
+    /// byte-identical to calling [`Self::reconstruct`] per device.
+    ///
+    /// `requesters` and `issued` must be index-aligned, as produced by
+    /// requesting in order and issuing with `issue_batch`.
+    ///
+    /// # Errors
+    ///
+    /// The first per-device error in index order, with the same
+    /// classification as [`Self::reconstruct`];
+    /// [`CertError::InvalidEncoding`] when the slices are not the same
+    /// length.
+    pub fn reconstruct_batch(
+        requesters: &[CertRequester],
+        issued: &[IssuedCert],
+        ca_public: &AffinePoint,
+    ) -> Result<Vec<KeyPair>, CertError> {
+        if requesters.len() != issued.len() {
+            return Err(CertError::InvalidEncoding);
+        }
+        let mut privates = Vec::with_capacity(requesters.len());
+        let mut publics = Vec::with_capacity(requesters.len());
+        for (req, cert) in requesters.iter().zip(issued) {
+            if cert.certificate.subject != req.subject {
+                return Err(CertError::InvalidEncoding);
+            }
+            let e = cert_hash(&cert.certificate);
+            let d_u = e.mul(&req.k_u).add(&cert.recon_private);
+            if d_u.is_zero() {
+                return Err(CertError::ReconstructionMismatch);
+            }
+            let q_u = reconstruct_public_key_jacobian(&cert.certificate, ca_public)?;
+            if mul_generator_ct_jacobian(&d_u) != q_u {
+                return Err(CertError::ReconstructionMismatch);
+            }
+            privates.push(d_u);
+            publics.push(q_u);
+        }
+        let publics = batch_normalize(&publics);
+        privates
+            .into_iter()
+            .zip(publics)
+            .map(|(private, public)| {
+                // Group-law outputs of valid inputs are always on the
+                // curve; the check mirrors the single-device path's
+                // defense in depth against arithmetic faults.
+                if public.infinity || !public.is_on_curve() {
+                    return Err(CertError::InvalidPoint);
+                }
+                Ok(KeyPair { private, public })
+            })
+            .collect()
     }
 }
 
@@ -145,6 +208,54 @@ mod tests {
         let issued = ca.issue(&alice.request(), 0, 100, &mut rng).unwrap();
         assert_eq!(
             bob.reconstruct(&issued, &ca.public_key()).unwrap_err(),
+            CertError::InvalidEncoding
+        );
+    }
+
+    #[test]
+    fn batch_reconstruct_matches_sequential() {
+        let mut rng = HmacDrbg::from_seed(76);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let requesters: Vec<CertRequester> = (0..7)
+            .map(|i| CertRequester::generate(DeviceId::from_label(&format!("node-{i}")), &mut rng))
+            .collect();
+        let requests: Vec<_> = requesters.iter().map(|r| r.request()).collect();
+        let issued = ca.issue_batch(&requests, 0, 100, &mut rng).unwrap();
+        let batch =
+            CertRequester::reconstruct_batch(&requesters, &issued, &ca.public_key()).unwrap();
+        assert_eq!(batch.len(), 7);
+        for ((req, cert), kp) in requesters.iter().zip(&issued).zip(&batch) {
+            let sequential = req.reconstruct(cert, &ca.public_key()).unwrap();
+            assert_eq!(kp.private, sequential.private);
+            assert_eq!(kp.public, sequential.public);
+            assert!(kp.is_consistent());
+        }
+    }
+
+    #[test]
+    fn batch_reconstruct_propagates_first_error() {
+        let mut rng = HmacDrbg::from_seed(77);
+        let ca = CertificateAuthority::new(DeviceId::from_label("CA"), &mut rng);
+        let requesters: Vec<CertRequester> = (0..4)
+            .map(|i| CertRequester::generate(DeviceId::from_label(&format!("node-{i}")), &mut rng))
+            .collect();
+        let requests: Vec<_> = requesters.iter().map(|r| r.request()).collect();
+        let mut issued = ca.issue_batch(&requests, 0, 100, &mut rng).unwrap();
+        issued[2].recon_private = issued[2].recon_private.add(&Scalar::one());
+        assert_eq!(
+            CertRequester::reconstruct_batch(&requesters, &issued, &ca.public_key()).unwrap_err(),
+            CertError::ReconstructionMismatch
+        );
+        // Length mismatch fails closed before any work.
+        assert_eq!(
+            CertRequester::reconstruct_batch(&requesters, &issued[..3], &ca.public_key())
+                .unwrap_err(),
+            CertError::InvalidEncoding
+        );
+        // Swapped certificates surface the subject mismatch.
+        issued.swap(0, 1);
+        assert_eq!(
+            CertRequester::reconstruct_batch(&requesters, &issued, &ca.public_key()).unwrap_err(),
             CertError::InvalidEncoding
         );
     }

@@ -14,7 +14,7 @@
 //! handshake (cheap to demand here, because the DKD makes rekeying
 //! safe — no key material is shared between epochs).
 
-use crate::{establish, SessionOutcome, StsConfig};
+use crate::{establish_hinted, ReconstructionHint, SessionOutcome, StsConfig};
 use ecq_crypto::zeroize::Zeroize;
 use ecq_crypto::HmacDrbg;
 use ecq_proto::{Credentials, ProtocolError, SessionKey};
@@ -100,6 +100,11 @@ pub struct SessionManager {
     key: Option<SessionKey>,
     epoch: Option<EpochInfo>,
     rekey_count: u64,
+    // Cached eq. (1) evaluations `(for the initiator, for the
+    // responder)`: the same certificate pair recurs on every rekey of
+    // this relationship, so the reconstruction runs once per manager
+    // instead of twice per handshake.
+    hints: Option<(ReconstructionHint, ReconstructionHint)>,
 }
 
 impl SessionManager {
@@ -125,6 +130,7 @@ impl SessionManager {
             key: None,
             epoch: None,
             rekey_count: 0,
+            hints: None,
         }
     }
 
@@ -159,8 +165,24 @@ impl SessionManager {
             return Err(ProtocolError::Cert(ecq_cert::CertError::Expired));
         }
         let config = StsConfig { now, ..self.config };
-        let mut outcome: SessionOutcome =
-            establish(&self.local, &self.peer, &config, &mut self.rng)?;
+        // Lazily cache the eq. (1) reconstructions on the first rekey;
+        // every later epoch of this certificate pair reuses them.
+        if self.hints.is_none() {
+            let for_initiator = ReconstructionHint::compute(&self.peer.cert, &self.local.ca_public)
+                .map_err(ProtocolError::Cert)?;
+            let for_responder = ReconstructionHint::compute(&self.local.cert, &self.peer.ca_public)
+                .map_err(ProtocolError::Cert)?;
+            self.hints = Some((for_initiator, for_responder));
+        }
+        let (hint_a, hint_b) = self.hints.as_ref().expect("hints cached above");
+        let mut outcome: SessionOutcome = establish_hinted(
+            &self.local,
+            &self.peer,
+            &config,
+            &mut self.rng,
+            Some(hint_a),
+            Some(hint_b),
+        )?;
         // The superseded epoch's key is dead from here on: wipe it.
         if let Some(old) = self.key.as_mut() {
             old.zeroize();

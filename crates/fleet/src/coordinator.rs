@@ -2,7 +2,7 @@
 //! policy-driven rekey epochs over the deterministic scheduler.
 
 use crate::device::SimDevice;
-use crate::interleave::{self, DeliveryRecord, SessionWork, SweepOptions};
+use crate::interleave::{self, DeliveryRecord, SessionResult, SessionWork, SweepOptions};
 use crate::pool::CaPool;
 use crate::report::FleetReport;
 use crate::scheduler::{micros_from_ms, EventScheduler, VirtualTime};
@@ -14,6 +14,7 @@ use ecq_crypto::HmacDrbg;
 use ecq_devices::{DevicePreset, DeviceProfile};
 use ecq_proto::{Credentials, ProtocolError, ProtocolKind, SessionKey};
 use ecq_sts::{RekeyPolicy, SessionManager, StsConfig, StsVariant};
+use std::collections::VecDeque;
 
 /// Parameters of a fleet run. Everything — device count, sharding,
 /// batching, validity, rekey policy — is explicit so a `(config, seed)`
@@ -359,14 +360,17 @@ impl FleetCoordinator {
             )?;
             let ca_done = at + per_cert_us * chunk.len() as VirtualTime;
 
-            for ((&i, requester), cert) in chunk.iter().zip(&requesters).zip(&issued) {
-                let keys = requester.reconstruct(cert, &ca.public_key())?;
-                self.devices[i].credentials = Some(Credentials {
+            // Device side: one shared inversion for the whole batch's
+            // eq. (1) reconstructions (the device-side mirror of
+            // `issue_batch`'s amortized issuance).
+            let keys = CertRequester::reconstruct_batch(&requesters, &issued, &ca.public_key())?;
+            for ((&i, cert), keys) in chunk.iter().zip(&issued).zip(keys) {
+                self.devices[i].credentials = Some(Box::new(Credentials {
                     id: self.devices[i].id,
                     cert: cert.certificate,
                     keys,
                     ca_public: ca.public_key(),
-                });
+                }));
                 let device_done =
                     ca_done + micros_from_ms(Self::reconstruct_cost_ms(self.devices[i].preset));
                 makespan = makespan.max(device_done);
@@ -415,7 +419,7 @@ impl FleetCoordinator {
                 let creds = |i: usize| {
                     self.devices
                         .get(i)
-                        .and_then(|d| d.credentials.clone().map(|c| (c, d.preset)))
+                        .and_then(|d| d.credentials.clone().map(|c| (*c, d.preset)))
                 };
                 let (Some((creds_a, preset_a)), Some((creds_b, preset_b))) = (creds(a), creds(b))
                 else {
@@ -483,6 +487,12 @@ impl FleetCoordinator {
     /// session, [`FleetReport::denied_revoked`] counted) while the
     /// rest of the fleet completes.
     ///
+    /// With a finite [`SweepOptions::max_inflight`] the sweep routes
+    /// through the streaming scheduler: peak resident state is bounded
+    /// by the admission window, the report stays bit-identical, and
+    /// only the diagnostic per-worker delivery log
+    /// ([`Self::last_deliveries`]) is dropped.
+    ///
     /// # Errors
     ///
     /// [`FleetError::Protocol`] when a non-revocation handshake
@@ -515,7 +525,29 @@ impl FleetCoordinator {
             })
             .collect();
 
-        let (results, log, bus_traces) = interleave::run_sweep(work, opts);
+        let (results, log, bus_traces) = if opts.max_inflight < work.len() {
+            let total = work.len();
+            let mut slots: Vec<Option<SessionResult>> = (0..total).map(|_| None).collect();
+            let traces = interleave::run_sweep_streaming(work.into_iter(), total, opts, |i, r| {
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(r);
+                }
+            });
+            let results: Vec<SessionResult> = slots
+                .into_iter()
+                .map(|slot| {
+                    slot.unwrap_or_else(|| {
+                        // A group lost to a dead worker fails closed.
+                        let mut r = SessionResult::empty();
+                        r.failure = Some(ProtocolError::Poisoned);
+                        r
+                    })
+                })
+                .collect();
+            (results, Vec::new(), traces)
+        } else {
+            interleave::run_sweep(work, opts)
+        };
         self.last_deliveries = log;
         for trace in &bus_traces {
             self.report.faults.dropped += trace.counters.dropped;
@@ -589,6 +621,158 @@ impl FleetCoordinator {
         }
     }
 
+    /// The bounded-memory establishment sweep for million-device
+    /// fleets: enrollment, pairing and handshake simulation run as one
+    /// pipeline. Pair material is *produced lazily* — each pull
+    /// batch-enrolls just enough devices to emit the next pair — and
+    /// streamed through the interleaved scheduler with at most
+    /// [`SweepOptions::max_inflight`] sessions resident, so peak memory
+    /// scales with the admission window and the roster skeleton, never
+    /// with `devices × credentials`.
+    ///
+    /// The resulting [`FleetReport`] (including the key digest) is
+    /// **bit-identical** to [`Self::enroll_all`] +
+    /// [`Self::interleaved_sweep`] on the same `(config, seed)`, for
+    /// any thread count and any window: per-shard enrollment chains,
+    /// pairing order, and every DRBG stream are replicated exactly, and
+    /// sessions are pure functions of their own work items (see
+    /// [`crate::interleave`]). What the streaming path does *not* keep
+    /// is the materialized state: the roster stays un-enrolled in
+    /// memory, [`Self::sessions`] stays empty, and the diagnostic
+    /// delivery log is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Cert`] when enrollment fails,
+    /// [`FleetError::Protocol`] when a non-revocation handshake failure
+    /// occurs (both impossible for well-formed rosters).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called after another establishment sweep.
+    pub fn streaming_sweep(&mut self, opts: &SweepOptions) -> Result<(), FleetError> {
+        assert!(
+            self.sessions.is_empty() && self.report.enrolled == 0,
+            "an establishment sweep runs once per coordinator"
+        );
+        let mut worklists: Vec<Vec<usize>> = vec![Vec::new(); self.pool.shard_count()];
+        for d in &self.devices {
+            worklists[d.shard].push(d.index);
+        }
+        let total: usize = worklists.iter().map(|l| l.len() / 2).sum();
+        let per_cert_us = micros_from_ms(self.issue_cost_ms());
+        let mut producer = PairProducer {
+            config: self.config,
+            pool: &self.pool,
+            devices: &self.devices,
+            device_seeds: &self.device_seeds,
+            crl: &self.crl,
+            shard_rngs: &mut self.shard_rngs,
+            session_rng: &mut self.session_rng,
+            worklists,
+            shard: 0,
+            cursor: 0,
+            shard_time: 0,
+            next_index: 0,
+            queue: VecDeque::new(),
+            per_cert_us,
+            enrolled: 0,
+            enroll_batches: 0,
+            enroll_makespan: 0,
+            error: None,
+        };
+
+        // Streaming aggregation state: exactly the fold the materialized
+        // path runs over its results vector, fed in strict index order.
+        let mut digest = Sha256::new();
+        let mut makespan: VirtualTime = 0;
+        let mut first_failure: Option<FleetError> = None;
+        let mut handshakes: usize = 0;
+        let mut denied_revoked: u64 = 0;
+        let mut timeouts: u64 = 0;
+        let mut poisoned: u64 = 0;
+        let mut messages: u64 = 0;
+        let mut wire_bytes: u64 = 0;
+        let mut can_frames: u64 = 0;
+        let bus_traces =
+            interleave::run_sweep_streaming(&mut producer, total, opts, |index, result| {
+                digest.update(&(index as u64).to_be_bytes());
+                if result.denied {
+                    denied_revoked += 1;
+                    digest.update(b"denied:revoked");
+                } else {
+                    // Denial beats everything, then the typed failure,
+                    // then the key; a keyless "completed" session fails
+                    // closed as poisoned — the materialized fold, with
+                    // `result.denied` standing in for the denial vector.
+                    let failure = if let Some(err) = result.failure {
+                        Some(err)
+                    } else if let Some(key) = result.key {
+                        digest.update(key.as_bytes());
+                        handshakes += 1;
+                        None
+                    } else {
+                        Some(ProtocolError::Poisoned)
+                    };
+                    if let Some(err) = failure {
+                        first_failure.get_or_insert(FleetError::Protocol(err));
+                        if err == ProtocolError::Timeout {
+                            timeouts += 1;
+                        }
+                        if err == ProtocolError::Poisoned {
+                            poisoned += 1;
+                        }
+                        digest.update(b"failed:");
+                        digest.update(err.to_string().as_bytes());
+                    }
+                }
+                makespan = makespan.max(result.end_us);
+                messages += result.messages;
+                wire_bytes += result.wire_bytes;
+                can_frames += result.frames;
+            });
+
+        let enrolled = producer.enrolled;
+        let enroll_batches = producer.enroll_batches;
+        let enroll_makespan = producer.enroll_makespan;
+        let sessions = producer.next_index;
+        let error = producer.error;
+
+        self.report.enrolled = enrolled;
+        self.report.enroll_batches = enroll_batches;
+        self.report.enroll_makespan_us = enroll_makespan;
+        self.report.sessions = sessions;
+        self.report.handshakes = handshakes;
+        self.report.denied_revoked = denied_revoked;
+        self.report.timeouts = timeouts;
+        self.report.poisoned = poisoned;
+        self.report.messages = messages;
+        self.report.wire_bytes = wire_bytes;
+        self.report.can_frames = can_frames;
+        self.report.handshake_makespan_us = makespan;
+        self.report.key_digest = Some(digest.finalize());
+        for trace in &bus_traces {
+            self.report.faults.dropped += trace.counters.dropped;
+            self.report.faults.corrupted += trace.counters.corrupted;
+            self.report.faults.duplicated += trace.counters.duplicated;
+            self.report.faults.held_back += trace.counters.held_back;
+            self.report.faults.delayed += trace.counters.delayed;
+            self.report.faults.replayed += trace.counters.replayed;
+            self.report.faults.storm_frames += trace.counters.storm_frames;
+            self.report.faults.isotp_errors += trace.counters.isotp_errors;
+            self.report.faults.messages_lost += trace.counters.messages_lost;
+        }
+        self.last_frame_logs = bus_traces.into_iter().map(|t| (t.bus, t.frames)).collect();
+        self.last_deliveries = Vec::new();
+        if let Some(e) = error {
+            return Err(e);
+        }
+        match first_failure {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+
     /// The per-worker message-delivery log of the last
     /// [`Self::interleaved_sweep`] (diagnostic: shows cross-session
     /// interleaving at message granularity; ordering is per worker, so
@@ -624,6 +808,13 @@ impl FleetCoordinator {
     /// The coordinator's revocation list.
     pub fn revocation_list(&self) -> &RevocationList {
         &self.crl
+    }
+
+    /// Mutable access to the revocation list, for revoking by serial
+    /// before a [`Self::streaming_sweep`] (whose roster never holds the
+    /// credentials [`Self::revoke_device`] would look up).
+    pub fn revocation_list_mut(&mut self) -> &mut RevocationList {
+        &mut self.crl
     }
 
     /// Pairs consecutive enrolled devices within each shard and runs
@@ -735,6 +926,149 @@ impl FleetCoordinator {
         self.handshake_sweep()?;
         self.run_epochs(epochs)?;
         Ok(self.report.clone())
+    }
+}
+
+/// Lazy pair-material source for [`FleetCoordinator::streaming_sweep`]:
+/// each [`Iterator::next`] call emits the next session's work item,
+/// batch-enrolling devices on demand. Shards are processed
+/// sequentially; within a shard the per-batch virtual-time chain
+/// (`shard_time`) is exactly the chain [`FleetCoordinator::enroll_all`]
+/// builds through its event scheduler — enrollment outcomes are
+/// order-independent across shards (per-shard chains never interact;
+/// makespan is a max, counts are sums), so the sequential replay
+/// reproduces the materialized report bit-for-bit.
+///
+/// Peak resident state: one enrollment batch of credentials plus at
+/// most one unpaired leftover — never the roster.
+struct PairProducer<'a> {
+    config: FleetConfig,
+    pool: &'a CaPool,
+    devices: &'a [SimDevice],
+    device_seeds: &'a [[u8; 32]],
+    crl: &'a RevocationList,
+    shard_rngs: &'a mut Vec<HmacDrbg>,
+    session_rng: &'a mut HmacDrbg,
+    /// Shard worklists in roster order (as `enroll_all` builds them).
+    worklists: Vec<Vec<usize>>,
+    shard: usize,
+    cursor: usize,
+    /// Virtual time the shard's CA becomes free (per-shard batch chain).
+    shard_time: VirtualTime,
+    /// Next global session index to emit (pairs count in shard order).
+    next_index: usize,
+    /// Enrolled-but-unpaired credentials of the current shard, in
+    /// roster order.
+    queue: VecDeque<(Credentials, DevicePreset)>,
+    per_cert_us: VirtualTime,
+    enrolled: usize,
+    enroll_batches: usize,
+    enroll_makespan: VirtualTime,
+    /// First enrollment failure; the iterator fuses once set.
+    error: Option<FleetError>,
+}
+
+impl PairProducer<'_> {
+    /// Enrolls the current shard's next batch into the queue — the
+    /// streaming replica of one `EnrollEvent::Batch` in
+    /// [`FleetCoordinator::enroll_all`], Montgomery-trick issuance and
+    /// reconstruction included.
+    fn enroll_next_batch(&mut self) -> Result<(), FleetError> {
+        let Some(list) = self.worklists.get(self.shard) else {
+            return Ok(()); // unreachable: the caller bounds `shard`
+        };
+        let end = (self.cursor + self.config.enroll_batch.max(1)).min(list.len());
+        let chunk = &list[self.cursor..end];
+        self.cursor = end;
+
+        let requesters: Vec<CertRequester> = chunk
+            .iter()
+            .map(|&i| {
+                let mut rng = HmacDrbg::new(&self.device_seeds[i], b"fleet-requester");
+                CertRequester::generate(self.devices[i].id, &mut rng)
+            })
+            .collect();
+        let requests: Vec<_> = requesters.iter().map(|r| r.request()).collect();
+        let ca = self.pool.shard(self.shard);
+        let issued = ca.issue_batch(
+            &requests,
+            self.config.valid_from,
+            self.config.valid_to,
+            &mut self.shard_rngs[self.shard],
+        )?;
+        let ca_done = self.shard_time + self.per_cert_us * chunk.len() as VirtualTime;
+        let keys = CertRequester::reconstruct_batch(&requesters, &issued, &ca.public_key())?;
+        for ((&i, cert), keys) in chunk.iter().zip(&issued).zip(keys) {
+            let preset = self.devices[i].preset;
+            let device_done =
+                ca_done + micros_from_ms(FleetCoordinator::reconstruct_cost_ms(preset));
+            self.enroll_makespan = self.enroll_makespan.max(device_done);
+            self.enrolled += 1;
+            self.queue.push_back((
+                Credentials {
+                    id: self.devices[i].id,
+                    cert: cert.certificate,
+                    keys,
+                    ca_public: ca.public_key(),
+                },
+                preset,
+            ));
+        }
+        self.enroll_batches += 1;
+        self.shard_time = ca_done;
+        Ok(())
+    }
+}
+
+impl Iterator for PairProducer<'_> {
+    type Item = SessionWork;
+
+    fn next(&mut self) -> Option<SessionWork> {
+        loop {
+            if self.error.is_some() {
+                return None;
+            }
+            if self.queue.len() >= 2 {
+                let (creds_a, preset_a) = self.queue.pop_front()?;
+                let (creds_b, preset_b) = self.queue.pop_front()?;
+                // Seed first, then the CRL verdict — the exact order
+                // of `create_sessions` + the sweep's denial pre-check.
+                let pair_seed = self.session_rng.bytes32();
+                let denied = self.crl.is_revoked(creds_a.cert.serial)
+                    || self.crl.is_revoked(creds_b.cert.serial);
+                let index = self.next_index;
+                self.next_index += 1;
+                return Some(SessionWork {
+                    index,
+                    creds_a,
+                    creds_b,
+                    preset_a,
+                    preset_b,
+                    wire_seed: pair_seed,
+                    now: self.config.valid_from,
+                    variant: self.config.variant,
+                    denied,
+                });
+            }
+            let list = self.worklists.get(self.shard)?;
+            if self.cursor >= list.len() {
+                // Shard exhausted: an odd leftover device stays
+                // enrolled-but-unpaired, mirroring the materialized
+                // path's `chunks_exact(2)`.
+                self.queue.clear();
+                self.shard += 1;
+                self.cursor = 0;
+                self.shard_time = 0;
+                if self.shard >= self.worklists.len() {
+                    return None;
+                }
+                continue;
+            }
+            if let Err(e) = self.enroll_next_batch() {
+                self.error = Some(e);
+                return None;
+            }
+        }
     }
 }
 

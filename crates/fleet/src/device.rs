@@ -16,7 +16,10 @@ pub struct SimDevice {
     /// The CA shard that provisions this device.
     pub shard: usize,
     /// Long-term credentials, present once enrollment completed.
-    pub credentials: Option<Credentials>,
+    /// Boxed: a million-entry roster should cost one pointer per
+    /// un-enrolled device, not an inline credential blob — streaming
+    /// sweeps never materialize credentials on the roster at all.
+    pub credentials: Option<Box<Credentials>>,
 }
 
 impl SimDevice {

@@ -131,6 +131,15 @@ pub struct SweepOptions {
     /// completes — the regression harness for the sweep's
     /// no-panic contract.
     pub poison: Option<usize>,
+    /// Admission window of the streaming scheduler: at most this many
+    /// sessions are resident (queued in worker channels, simulating, or
+    /// awaiting in-order aggregation) at any moment, so peak memory
+    /// scales with the window instead of the fleet. `usize::MAX` (the
+    /// default) keeps the materialized path. The report is bit-identical
+    /// for any window value — sessions (and whole bus groups) are pure
+    /// functions of their own work items, so admission timing cannot
+    /// change their outcome.
+    pub max_inflight: usize,
 }
 
 impl Default for SweepOptions {
@@ -142,6 +151,7 @@ impl Default for SweepOptions {
             faults: FaultSpec::none(),
             revocation: None,
             poison: None,
+            max_inflight: usize::MAX,
         }
     }
 }
@@ -187,6 +197,14 @@ impl SweepOptions {
         self.poison = Some(poison);
         self
     }
+
+    /// Bounds the number of sessions resident in the streaming
+    /// scheduler at once (clamped up to one bus group).
+    #[must_use]
+    pub fn max_inflight(mut self, max_inflight: usize) -> Self {
+        self.max_inflight = max_inflight;
+        self
+    }
 }
 
 /// One delivered wire message, in the order a worker's scheduler popped
@@ -227,10 +245,14 @@ pub(crate) struct SessionResult {
     pub messages: u64,
     pub wire_bytes: u64,
     pub frames: u64,
+    /// The session was denied by the CRL check before kickoff. Carried
+    /// in the result so streaming aggregation (which holds no
+    /// per-session state of its own) can classify the outcome.
+    pub denied: bool,
 }
 
 impl SessionResult {
-    fn empty() -> Self {
+    pub(crate) fn empty() -> Self {
         SessionResult {
             key: None,
             failure: None,
@@ -238,6 +260,7 @@ impl SessionResult {
             messages: 0,
             wire_bytes: 0,
             frames: 0,
+            denied: false,
         }
     }
 }
@@ -530,6 +553,8 @@ pub(crate) fn run_worker(
     // A poisoned slot fails closed as `ProtocolError::Poisoned` instead
     // of aborting the whole worker.
     let mut poisoned: Vec<bool> = vec![false; work.len()];
+    // Slots denied by the CRL pre-check (echoed into the results).
+    let mut denied_slots: Vec<bool> = vec![false; work.len()];
     let mut log: Vec<DeliveryRecord> = Vec::new();
     let mut scheduler = LaneScheduler::new();
     // Buses this worker owns, and (bus, bus slot) → local `live` slot.
@@ -566,6 +591,9 @@ pub(crate) fn run_worker(
             None
         };
         if w.denied {
+            if let Some(d) = denied_slots.get_mut(slot) {
+                *d = true;
+            }
             live.push(None);
             continue;
         }
@@ -765,15 +793,21 @@ pub(crate) fn run_worker(
 
     let results = live
         .into_iter()
-        .zip(poisoned)
-        .map(|(slot, was_poisoned)| match slot {
+        .zip(poisoned.into_iter().zip(denied_slots))
+        .map(|(slot, (was_poisoned, was_denied))| match slot {
             Some(l) => l.result,
+            // Denial wins over the poison hook: a denied session never
+            // schedules events, so nothing can poison it.
+            None if was_denied => {
+                let mut r = SessionResult::empty();
+                r.denied = true;
+                r
+            }
             None if was_poisoned => {
                 let mut r = SessionResult::empty();
                 r.failure = Some(ProtocolError::Poisoned);
                 r
             }
-            // The coordinator records the CRL denial itself.
             None => SessionResult::empty(),
         })
         .collect();
@@ -869,14 +903,12 @@ pub(crate) fn run_sweep(
     let mut shards: Vec<Vec<SessionWork>> = (0..threads)
         .map(|_| Vec::with_capacity(total / threads + group))
         .collect();
-    let mut order: Vec<Vec<usize>> = vec![Vec::new(); threads];
     for (i, w) in work.into_iter().enumerate() {
         let t = (i / group) % threads;
         // A missing shard (impossible: t < threads) would drop the
         // session, which then surfaces as a poisoned fail-closed
         // result instead of a panic.
-        if let (Some(o), Some(s)) = (order.get_mut(t), shards.get_mut(t)) {
-            o.push(i);
+        if let Some(s) = shards.get_mut(t) {
             s.push(w);
         }
     }
@@ -892,11 +924,14 @@ pub(crate) fn run_sweep(
             let (shard_results, shard_log, shard_traces) =
                 handle.join().expect("sweep worker panicked");
             for (j, result) in shard_results.into_iter().enumerate() {
-                let dest = order
-                    .get(t)
-                    .and_then(|o| o.get(j))
-                    .and_then(|&i| results.get_mut(i));
-                if let Some(slot) = dest {
+                // Invert the deal rule arithmetically instead of
+                // carrying a per-worker index map: worker `t`'s `j`-th
+                // session came from its `j / group`-th bus group, whose
+                // global group number is `(j / group)·threads + t`.
+                // (A partial trailing group is always the globally last
+                // one, so every earlier worker-local group is full.)
+                let i = ((j / group) * threads + t) * group + (j % group);
+                if let Some(slot) = results.get_mut(i) {
                     *slot = Some(result);
                 }
             }
@@ -918,6 +953,173 @@ pub(crate) fn run_sweep(
         })
         .collect();
     (results, log, traces)
+}
+
+/// Streams lazily produced work through `threads` workers with at most
+/// `opts.max_inflight` sessions resident at once, delivering results to
+/// `consume` in **strict session-index order** (so the caller can fold
+/// an incremental digest exactly as the materialized path does).
+/// Returns the bus traces, sorted by bus id.
+///
+/// # Architecture
+///
+/// The calling thread is the producer: it pulls `work` (which may run
+/// real enrollment cryptography per pull), chunks it into bus groups —
+/// `group` consecutive sessions, the sweep's unit of independence — and
+/// deals group `g` to worker `g % threads` over a bounded channel.
+/// Workers simulate one group at a time through the same event loop as
+/// the materialized path and send `(group, results, traces)` back; a
+/// reorder buffer releases them to `consume` in group order.
+///
+/// # Why the report cannot depend on the window
+///
+/// A session on a private link — and a whole group on a shared bus —
+/// interacts with nothing outside its own work item: the worker event
+/// loop's virtual clock never advances an event past its scheduled
+/// time (the `schedule` clamp is vacuous because every follow-up is
+/// scheduled at or after the event that produced it), so co-residence
+/// of other sessions cannot shift a timeline. Each group's results are
+/// therefore a pure function of `(config, seed, group)` — identical
+/// whether the group ran alone, in a window of 64, or in the fully
+/// materialized sweep — and in-order delivery makes the aggregate
+/// report bit-identical for any `threads` and any `max_inflight`.
+///
+/// # Deadlock freedom
+///
+/// The producer only blocks in two places: a full worker channel (then
+/// it drains one result first — a full channel means that worker holds
+/// work and will emit), and the final drain (workers hold the only
+/// remaining results). The reorder buffer is bounded by the number of
+/// admitted-but-undelivered groups, which the channels bound by
+/// construction.
+pub(crate) fn run_sweep_streaming<I, F>(
+    work: I,
+    total: usize,
+    opts: &SweepOptions,
+    mut consume: F,
+) -> Vec<BusTrace>
+where
+    I: Iterator<Item = SessionWork>,
+    F: FnMut(usize, SessionResult),
+{
+    use std::sync::mpsc::{channel, sync_channel, TrySendError};
+
+    let group = match opts.transport {
+        TransportKind::SharedBus { group } => group.max(1),
+        _ => 1,
+    };
+    let cfg = WorkerConfig {
+        transport: opts.transport,
+        faults: opts.faults,
+        revocation: opts.revocation,
+        total,
+        poison: opts.poison,
+    };
+    let threads = opts.threads.max(1);
+    // Per-worker queue depth in groups: the window split across
+    // workers, at least one so every worker can hold work — and never
+    // more groups than the sweep has (`sync_channel` preallocates its
+    // ring, so an unbounded window must not allocate an unbounded one).
+    let groups_per_worker = total.div_ceil(group).div_ceil(threads).max(1);
+    let cap = (opts.max_inflight.max(group) / threads / group).clamp(1, groups_per_worker);
+
+    let mut traces: Vec<BusTrace> = Vec::new();
+    let mut work = work;
+    std::thread::scope(|scope| {
+        let (res_tx, res_rx) = channel::<(usize, Vec<SessionResult>, Vec<BusTrace>)>();
+        let mut feeds = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (tx, rx) = sync_channel::<(usize, Vec<SessionWork>)>(cap);
+            let worker_tx = res_tx.clone();
+            scope.spawn(move || {
+                while let Ok((g, batch)) = rx.recv() {
+                    let (results, _log, batch_traces) = run_worker(batch, cfg);
+                    if worker_tx.send((g, results, batch_traces)).is_err() {
+                        return;
+                    }
+                }
+            });
+            feeds.push(tx);
+        }
+        drop(res_tx);
+
+        // Reorder buffer: completed groups awaiting in-order delivery.
+        let mut pending: BTreeMap<usize, Vec<SessionResult>> = BTreeMap::new();
+        let mut next_out = 0usize;
+        let mut flush = |pending: &mut BTreeMap<usize, Vec<SessionResult>>,
+                         next_out: &mut usize| {
+            while let Some(results) = pending.remove(next_out) {
+                for (j, r) in results.into_iter().enumerate() {
+                    consume(*next_out * group + j, r);
+                }
+                *next_out += 1;
+            }
+        };
+
+        let mut g = 0usize;
+        loop {
+            let mut batch = Vec::with_capacity(group);
+            while batch.len() < group {
+                match work.next() {
+                    Some(w) => batch.push(w),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let Some(feed) = feeds.get(g % threads) else {
+                break; // unreachable: g % threads < threads
+            };
+            // Retire everything already finished before admitting more:
+            // when workers outpace the producer (enrollment runs on this
+            // thread), finished results must fold into `consume` now, not
+            // pile up in the unbounded result channel until the final
+            // drain — that would grow resident state with fleet size and
+            // void the bounded-memory contract.
+            while let Ok((done, results, batch_traces)) = res_rx.try_recv() {
+                pending.insert(done, results);
+                traces.extend(batch_traces);
+                flush(&mut pending, &mut next_out);
+            }
+            let mut msg = (g, batch);
+            loop {
+                match feed.try_send(msg) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        msg = back;
+                        // Admission is at the window: retire one group
+                        // before admitting another.
+                        match res_rx.recv() {
+                            Ok((done, results, batch_traces)) => {
+                                pending.insert(done, results);
+                                traces.extend(batch_traces);
+                                flush(&mut pending, &mut next_out);
+                            }
+                            Err(_) => break, // workers gone; scope will surface the panic
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            g += 1;
+        }
+        drop(feeds);
+        while let Ok((done, results, batch_traces)) = res_rx.recv() {
+            pending.insert(done, results);
+            traces.extend(batch_traces);
+            flush(&mut pending, &mut next_out);
+        }
+        // A gap can only remain if a worker died mid-stream; deliver
+        // what completed (still in order) rather than dropping it.
+        for (done, results) in std::mem::take(&mut pending) {
+            for (j, r) in results.into_iter().enumerate() {
+                consume(done * group + j, r);
+            }
+        }
+    });
+    traces.sort_by_key(|t| t.bus);
+    traces
 }
 
 #[cfg(test)]
@@ -1038,6 +1240,48 @@ mod tests {
         assert_eq!(log.len(), 8, "4 deliveries per session");
         assert_eq!(traces.len(), 1);
         assert_eq!(traces[0].counters, FaultCounters::default());
+    }
+
+    #[test]
+    fn streaming_pump_matches_materialized_for_any_window() {
+        let opts_for = |threads: usize| {
+            SweepOptions::new()
+                .threads(threads)
+                .transport(TransportKind::SharedBus { group: 2 })
+                .faults(FaultSpec {
+                    seed: 11,
+                    drop_per_mille: 60,
+                    corrupt_per_mille: 40,
+                    deadline_us: 30_000_000,
+                    ..FaultSpec::none()
+                })
+        };
+        let (baseline, _, base_traces) = run_sweep(session_work(4), &opts_for(1));
+        let base_outcomes: Vec<_> = baseline
+            .iter()
+            .map(|r| (r.key.as_ref().map(|k| *k.as_bytes()), r.failure, r.end_us))
+            .collect();
+        let base_counters: Vec<_> = base_traces.iter().map(|t| (t.bus, t.counters)).collect();
+        for (threads, window) in [(1, 1), (2, 2), (3, 5), (2, usize::MAX)] {
+            let opts = opts_for(threads).max_inflight(window);
+            let mut delivered: Vec<usize> = Vec::new();
+            let mut outcomes: Vec<_> = Vec::new();
+            let traces = run_sweep_streaming(session_work(4).into_iter(), 4, &opts, |index, r| {
+                delivered.push(index);
+                outcomes.push((r.key.as_ref().map(|k| *k.as_bytes()), r.failure, r.end_us));
+            });
+            assert_eq!(
+                delivered,
+                vec![0, 1, 2, 3],
+                "strict in-order delivery (threads {threads}, window {window})"
+            );
+            assert_eq!(
+                outcomes, base_outcomes,
+                "streamed results match materialized (threads {threads}, window {window})"
+            );
+            let counters: Vec<_> = traces.iter().map(|t| (t.bus, t.counters)).collect();
+            assert_eq!(counters, base_counters);
+        }
     }
 
     #[test]

@@ -69,13 +69,22 @@ impl Signature {
 }
 
 /// Verification strategy for the `u1·G + u2·Q` computation.
+///
+/// Separate muls stay the default on measurement, not convention: the
+/// fixed-base `u1·G` rides the 8-bit wide comb (no doublings at all)
+/// while the Shamir ladder would force it through ~256 shared
+/// doublings — a trade the comb wins even after the wNAF rework of
+/// `u2·Q`. See the decision record in [`crate::precomp`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum VerifyStrategy {
     /// Two independent scalar multiplications, then one addition —
-    /// micro-ecc's approach and the cost-model default.
+    /// micro-ecc's approach and the measured winner (comb-backed
+    /// `u1·G` + wNAF `u2·Q`).
     #[default]
     SeparateMuls,
-    /// Shamir's trick: one interleaved double-and-add pass.
+    /// Shamir's trick: one interleaved double-and-add pass. Kept as an
+    /// ablation; loses to [`Self::SeparateMuls`] because the shared
+    /// ladder cannot use the fixed-base comb.
     Shamir,
 }
 

@@ -12,11 +12,15 @@
 //!   [`JacobianPoint::mul_ct`] runs a fixed window walk of exactly
 //!   4 doublings + 1 masked addition per window. Key generation, ECDH,
 //!   ECDSA signing and the ECQV secret paths use these.
-//! * **`*_vartime`** — faster, schedule leaks the scalar's zero
-//!   windows: [`mul_generator_vartime`], [`AffinePoint::mul_vartime`]
-//!   and [`multi_scalar_mul`] (Shamir's trick). Only for public inputs:
-//!   ECDSA verification, eq. (1) public-key reconstruction, benches and
-//!   attack simulations.
+//! * **`*_vartime`** — faster, schedule leaks the scalar's digit
+//!   pattern: [`mul_generator_vartime`], [`AffinePoint::mul_vartime`]
+//!   (width-5 wNAF over an odd-multiples table) and
+//!   [`multi_scalar_mul`] (interleaved wNAF sharing one doubling
+//!   ladder and one table inversion). Only for public inputs: ECDSA
+//!   verification, eq. (1) public-key reconstruction, benches and
+//!   attack simulations. The retired 4-bit fixed-window walk survives
+//!   as [`JacobianPoint::mul_vartime_window`], the differential-test
+//!   and bench baseline for the wNAF path.
 //!
 //! The op-counter (the `ops` module, compiled under `cfg(test)` or the
 //! `schedule-counters` feature) asserts the ct schedules are
@@ -459,13 +463,49 @@ impl JacobianPoint {
         Self::conditional_select(self, &out, rhs_is_id)
     }
 
-    /// Variable-time scalar multiplication with a 4-bit fixed window.
+    /// Variable-time scalar multiplication via width-5 wNAF.
     ///
-    /// Zero windows skip the table addition, so the group-operation
-    /// schedule leaks the scalar's nibble pattern: only for public
+    /// Recodes `k` into signed odd digits `±{1,3,…,15}` (at most one
+    /// nonzero digit per 5 bits), precomputes the eight odd multiples
+    /// `1·P, 3·P … 15·P` normalized to affine around one shared
+    /// inversion, then runs one doubling ladder with a mixed
+    /// Jacobian+affine addition per nonzero digit — ~255 doublings and
+    /// ~43 additions on average, versus ~252 doublings and ~60 full
+    /// Jacobian additions for the 4-bit window walk it replaced
+    /// ([`Self::mul_vartime_window`]). Negative digits reuse the table
+    /// entry negated, so the table stays eight entries.
+    ///
+    /// The schedule leaks the scalar's digit pattern: only for public
     /// scalars (ECDSA verification, benches, attack tooling). Secret
     /// scalars go through [`Self::mul_ct`].
     pub fn mul_vartime(&self, k: &Scalar) -> JacobianPoint {
+        let kv = k.to_canonical();
+        if kv.is_zero() || self.is_identity() {
+            return Self::identity();
+        }
+        let table = normalize_fixed(&self.wnaf_table_vartime());
+        let (digits, len) = wnaf5_vartime(&kv);
+        let mut acc = Self::identity();
+        for i in (0..len).rev() {
+            if !acc.is_identity() {
+                acc = acc.double();
+            }
+            let d = digits[i];
+            if d != 0 {
+                acc = acc.add_affine(&wnaf_entry_vartime(&table, d));
+            }
+        }
+        acc
+    }
+
+    /// Variable-time scalar multiplication with a 4-bit fixed window —
+    /// the pre-wNAF path, kept as the differential-test and bench
+    /// baseline for [`Self::mul_vartime`].
+    ///
+    /// Zero windows skip the table addition, so the group-operation
+    /// schedule leaks the scalar's nibble pattern: only for public
+    /// scalars.
+    pub fn mul_vartime_window(&self, k: &Scalar) -> JacobianPoint {
         let kv = k.to_canonical();
         if kv.is_zero() || self.is_identity() {
             return Self::identity();
@@ -482,6 +522,17 @@ impl JacobianPoint {
             }
         }
         acc
+    }
+
+    /// Precomputes the odd multiples `1·P, 3·P … 15·P` for the width-5
+    /// wNAF walks (one doubling + seven additions).
+    fn wnaf_table_vartime(&self) -> [JacobianPoint; 8] {
+        let twice = self.double();
+        let mut m = [*self; 8];
+        for i in 1..8 {
+            m[i] = m[i - 1].add(&twice);
+        }
+        m
     }
 
     /// Precomputes `1·P … 15·P` for the 4-bit vartime window walks
@@ -533,30 +584,10 @@ impl JacobianPoint {
         }
         // Fixed-size Montgomery's-trick normalization: same shared
         // inversion as [`batch_normalize`] but allocation-free, since
-        // this sits on the hot secret path (every ECDH). A prime-order
-        // curve has no small-order points, so the multiples are either
-        // all identity (identity base — a public property, branch is
-        // fine, table stays all-identity) or all proper points.
-        let mut table = [AffinePoint::identity(); 15];
-        if !self.is_identity() {
-            let mut prefix = [FieldElement::one(); 15];
-            let mut acc = FieldElement::one();
-            for (slot, p) in prefix.iter_mut().zip(&multiples) {
-                *slot = acc;
-                acc = acc.mul(&p.z);
-            }
-            let mut suffix_inv = acc.invert();
-            for ((entry, p), pre) in table.iter_mut().zip(&multiples).zip(&prefix).rev() {
-                let z_inv = suffix_inv.mul(pre);
-                suffix_inv = suffix_inv.mul(&p.z);
-                let z_inv2 = z_inv.square();
-                *entry = AffinePoint {
-                    x: p.x.mul(&z_inv2),
-                    y: p.y.mul(&z_inv2).mul(&z_inv),
-                    infinity: false,
-                };
-            }
-        }
+        // this sits on the hot secret path (every ECDH). The skip
+        // pattern branches only on identity flags — properties of the
+        // public base point, never of `k`.
+        let table = normalize_fixed(&multiples);
 
         let kv = k.to_canonical();
         let mut acc = Self::identity();
@@ -688,44 +719,157 @@ pub fn batch_normalize(points: &[JacobianPoint]) -> Vec<AffinePoint> {
     out
 }
 
+/// Montgomery's-trick normalization over a fixed-size array: one
+/// shared field inversion for all `N` points, no allocation. Identity
+/// entries map to [`AffinePoint::identity`] and skip the product —
+/// inverting an empty product is `1⁻¹`, which is well defined — so
+/// callers may leave unused slots at the identity.
+fn normalize_fixed<const N: usize>(points: &[JacobianPoint; N]) -> [AffinePoint; N] {
+    // prefix[i] = product of z_j for non-identity j < i.
+    let mut prefix = [FieldElement::one(); N];
+    let mut acc = FieldElement::one();
+    for (slot, p) in prefix.iter_mut().zip(points) {
+        *slot = acc;
+        if !p.is_identity() {
+            acc = acc.mul(&p.z);
+        }
+    }
+    let mut suffix_inv = acc.invert();
+    let mut out = [AffinePoint::identity(); N];
+    for ((entry, p), pre) in out.iter_mut().zip(points).zip(&prefix).rev() {
+        if p.is_identity() {
+            continue;
+        }
+        let z_inv = suffix_inv.mul(pre);
+        suffix_inv = suffix_inv.mul(&p.z);
+        let z_inv2 = z_inv.square();
+        *entry = AffinePoint {
+            x: p.x.mul(&z_inv2),
+            y: p.y.mul(&z_inv2).mul(&z_inv),
+            infinity: false,
+        };
+    }
+    out
+}
+
+/// Width-5 wNAF recoding: signed odd digits `±{1,3,…,15}`, at least
+/// four zero digits between nonzero ones. Returns the digit array
+/// (little-endian by bit position, zero-padded) and the number of
+/// digits used.
+///
+/// Index bound: a nonzero digit at position `m` forces
+/// `k > 2^m·16/31` (the top digit is positive and lower nonzero
+/// digits, ≥5 apart, sum to less than `2^m·15/31`), so `k < 2^256`
+/// caps `m` at 256 and the 257-entry array never overflows.
+fn wnaf5_vartime(kv: &U256) -> ([i8; 257], usize) {
+    let mut digits = [0i8; 257];
+    let mut len = 0usize;
+    let mut k = *kv;
+    let mut i = 0usize;
+    while !k.is_zero() {
+        if k.is_odd() {
+            // Signed residue mod 32: d ≡ k, d odd, −16 < d < 16.
+            let low = (k.limbs()[0] & 0x1f) as i8;
+            let d = if low >= 16 { low - 32 } else { low };
+            k = if d >= 0 {
+                k.wrapping_sub(&U256::from_u64(d as u64))
+            } else {
+                k.wrapping_add(&U256::from_u64((-d) as u64))
+            };
+            digits[i] = d;
+            len = i + 1;
+        }
+        k = k.shr1();
+        i += 1;
+    }
+    (digits, len)
+}
+
+/// Looks up `d·P` in a wNAF odd-multiples table (`d` odd, `|d| ≤ 15`):
+/// entry `(|d|−1)/2`, negated for negative digits.
+fn wnaf_entry_vartime(table: &[AffinePoint; 8], d: i8) -> AffinePoint {
+    if d > 0 {
+        table[(d as usize) >> 1]
+    } else {
+        table[((-d) as usize) >> 1].neg()
+    }
+}
+
 /// Shamir/Straus double-scalar multiplication: computes `a·P + b·Q`
-/// with one shared doubling ladder over joint 4-bit windows — two
-/// 15-entry tables, four doublings per window and at most one table
-/// addition per scalar per window (the bitwise Shamir pass this
-/// replaces paid an addition for ~3 of 4 *bits*). Variable-time by
+/// with one shared doubling ladder over interleaved width-5 wNAF
+/// digits — two 8-entry odd-multiples tables normalized around a
+/// *single* shared field inversion, one doubling per bit, and at most
+/// one mixed addition per scalar per 5 bits. Variable-time by
 /// construction; only for public inputs (ECDSA verification, the
 /// eq. (1) ECQV public-key reconstruction, attack tooling).
-// ct-vartime: joint-window Shamir/Straus, schedule depends on both scalars.
+// ct-vartime: interleaved wNAF, schedule depends on both scalars.
 pub fn multi_scalar_mul(a: &Scalar, p: &AffinePoint, b: &Scalar, q: &AffinePoint) -> AffinePoint {
+    multi_scalar_mul_jacobian(a, p, b, q).to_affine()
+}
+
+/// [`multi_scalar_mul`] without the final affine normalization, for
+/// callers that amortize the inversion via [`batch_normalize`] or
+/// compare results in the projective equivalence class.
+// ct-vartime: interleaved wNAF, schedule depends on both scalars.
+pub fn multi_scalar_mul_jacobian(
+    a: &Scalar,
+    p: &AffinePoint,
+    b: &Scalar,
+    q: &AffinePoint,
+) -> JacobianPoint {
     let av = a.to_canonical();
     let bv = b.to_canonical();
     // A unit scalar contributes exactly one mixed addition of its
-    // affine base at window 0 — no table needed. The eq. (1)
+    // affine base at digit 0 — no table needed. The eq. (1)
     // reconstruction's `+ Q_CA` term rides this case on every
     // certificate validation.
-    let tp = (av != U256::ONE).then(|| JacobianPoint::from_affine(p).vartime_window_table());
-    let tq = (bv != U256::ONE).then(|| JacobianPoint::from_affine(q).vartime_window_table());
+    let unit_a = av == U256::ONE;
+    let unit_b = bv == U256::ONE;
+    let need_a = !unit_a && !av.is_zero() && !p.infinity;
+    let need_b = !unit_b && !bv.is_zero() && !q.infinity;
+    // Both odd-multiples tables normalize around one shared inversion;
+    // unused halves stay at the identity and skip the product.
+    let mut joint = [JacobianPoint::identity(); 16];
+    if need_a {
+        joint[..8].copy_from_slice(&JacobianPoint::from_affine(p).wnaf_table_vartime());
+    }
+    if need_b {
+        joint[8..].copy_from_slice(&JacobianPoint::from_affine(q).wnaf_table_vartime());
+    }
+    let joint = normalize_fixed(&joint);
+    let mut ta = [AffinePoint::identity(); 8];
+    let mut tb = [AffinePoint::identity(); 8];
+    ta.copy_from_slice(&joint[..8]);
+    tb.copy_from_slice(&joint[8..]);
+
+    let (da, la) = wnaf5_vartime(&av);
+    let (db, lb) = wnaf5_vartime(&bv);
     let mut acc = JacobianPoint::identity();
-    for w in (0..64).rev() {
+    for i in (0..la.max(lb)).rev() {
         if !acc.is_identity() {
-            acc = acc.double().double().double().double();
+            acc = acc.double();
         }
-        let na = av.nibble(w);
-        if na != 0 {
-            acc = match &tp {
-                Some(t) => acc.add(&t[na as usize - 1]),
-                None => acc.add_affine(p), // a == 1: window 0, digit 1
+        let dig_a = da[i];
+        if dig_a != 0 {
+            // An identity base contributes nothing: its table (or, for
+            // a unit scalar, the base itself) adds the identity, which
+            // `add_affine` passes through.
+            acc = if unit_a {
+                acc.add_affine(p)
+            } else {
+                acc.add_affine(&wnaf_entry_vartime(&ta, dig_a))
             };
         }
-        let nb = bv.nibble(w);
-        if nb != 0 {
-            acc = match &tq {
-                Some(t) => acc.add(&t[nb as usize - 1]),
-                None => acc.add_affine(q), // b == 1: window 0, digit 1
+        let dig_b = db[i];
+        if dig_b != 0 {
+            acc = if unit_b {
+                acc.add_affine(q)
+            } else {
+                acc.add_affine(&wnaf_entry_vartime(&tb, dig_b))
             };
         }
     }
-    acc.to_affine()
+    acc
 }
 
 #[cfg(test)]
@@ -827,6 +971,94 @@ mod tests {
             let fast = multi_scalar_mul(&a, &g, &b, &q);
             let naive = g.mul_vartime(&a).add(&q.mul_vartime(&b));
             assert_eq!(fast, naive);
+        }
+    }
+
+    #[test]
+    fn multi_scalar_edge_cases() {
+        let mut rng = HmacDrbg::from_seed(0xE5);
+        let g = AffinePoint::generator();
+        let q = g.mul_vartime(&Scalar::random(&mut rng));
+        let id = AffinePoint::identity();
+        let r = Scalar::random(&mut rng);
+        // Every combination of edge scalar × edge base against the
+        // naive two-multiplication reference, including the unit-scalar
+        // shortcut (eq. (1)'s `1·Q_CA` term) and identity bases.
+        for (i, a) in edge_scalars().iter().enumerate() {
+            for (j, b) in edge_scalars().iter().enumerate() {
+                for (k, (p1, p2)) in [(g, q), (q, id), (id, q), (id, id)].iter().enumerate() {
+                    let fast = multi_scalar_mul(a, p1, b, p2);
+                    let naive = p1.mul_vartime(a).add(&p2.mul_vartime(b));
+                    assert_eq!(fast, naive, "a {i}, b {j}, bases {k}");
+                }
+            }
+        }
+        // Jacobian variant agrees in the equivalence class.
+        assert_eq!(
+            multi_scalar_mul_jacobian(&r, &g, &Scalar::one(), &q).to_affine(),
+            multi_scalar_mul(&r, &g, &Scalar::one(), &q)
+        );
+    }
+
+    #[test]
+    fn wnaf_matches_window_reference() {
+        // The wNAF path against the retired 4-bit window walk, over the
+        // same edge-scalar sweep the ct tests use plus extra sparse and
+        // dense patterns, for generator / random / identity bases.
+        let mut rng = HmacDrbg::from_seed(0xE6);
+        let g = JacobianPoint::from_affine(&AffinePoint::generator());
+        let bases = [
+            g,
+            g.mul_vartime(&Scalar::random(&mut rng)),
+            JacobianPoint::identity(),
+        ];
+        let mut scalars = edge_scalars();
+        scalars.push(Scalar::from_u64(0xFFFF_FFFF_FFFF_FFFF)); // dense NAF
+        scalars.push(pow2_scalar(255)); // single top bit
+        scalars.push(pow2_scalar(255).add(&Scalar::one())); // sparse ends
+        for (bi, base) in bases.iter().enumerate() {
+            for (i, k) in scalars.iter().enumerate() {
+                assert_eq!(
+                    base.mul_vartime(k),
+                    base.mul_vartime_window(k),
+                    "base {bi}, scalar {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wnaf_digits_are_valid_and_reconstruct() {
+        let mut rng = HmacDrbg::from_seed(0xE7);
+        let mut scalars = edge_scalars();
+        for _ in 0..8 {
+            scalars.push(Scalar::random(&mut rng));
+        }
+        for (i, k) in scalars.iter().enumerate() {
+            let (digits, len) = wnaf5_vartime(&k.to_canonical());
+            assert!(len <= 257, "scalar {i}: len {len}");
+            let mut last_nonzero: Option<usize> = None;
+            // Horner evaluation from the top digit back to the scalar.
+            let mut acc = Scalar::zero();
+            for j in (0..len).rev() {
+                acc = acc.add(&acc);
+                let d = digits[j];
+                if d != 0 {
+                    assert_eq!(d & 1, 1, "scalar {i}, digit {j}: even {d}");
+                    assert!(d.abs() <= 15, "scalar {i}, digit {j}: wide {d}");
+                    if let Some(prev) = last_nonzero {
+                        assert!(prev - j >= 5, "scalar {i}: digits {prev},{j}");
+                    }
+                    last_nonzero = Some(j);
+                    let mag = Scalar::from_u64(d.unsigned_abs() as u64);
+                    acc = if d > 0 {
+                        acc.add(&mag)
+                    } else {
+                        acc.add(&mag.neg())
+                    };
+                }
+            }
+            assert_eq!(acc, *k, "scalar {i} does not reconstruct");
         }
     }
 

@@ -27,6 +27,20 @@
 //! shared field inversion ([`crate::point::batch_normalize`],
 //! Montgomery's trick). A process that only ever runs secret-scalar
 //! paths never pays for the wide comb.
+//!
+//! **Why ECDSA verification still runs two separate multiplications.**
+//! The wide comb is also the reason Shamir/Straus loses the
+//! verification bake-off, re-measured after the width-5 wNAF rework of
+//! `mul_vartime`: separate muls cost one comb-backed `u1·G` (~19 µs
+//! here, 31 additions, zero doublings) plus one wNAF `u2·Q` (~100 µs),
+//! totalling ~120 µs, while the interleaved Straus pass (~135 µs) must
+//! drag `u1·G` through the full 256-doubling ladder because a shared
+//! ladder cannot ride a fixed-base comb. wNAF narrowed the gap (it
+//! shaved both `u2·Q` and the Straus digit schedule) but did not close
+//! it, so [`crate::ecdsa::VerifyStrategy::SeparateMuls`] stays the
+//! default and Shamir remains an ablation. Re-run
+//! `cargo run --release --bin bench_p256` after touching either path;
+//! the `ecdsa_verify_*` rows are the decision record.
 
 use crate::point::{batch_normalize, AffinePoint, JacobianPoint};
 use std::sync::OnceLock;

@@ -166,6 +166,23 @@ proptest! {
     }
 
     #[test]
+    fn wnaf_agrees_with_window_walk(
+        base_scalar in arb_scalar(),
+        a in arb_scalar(),
+        sparse in arb_sparse_scalar(),
+        dense_byte in 1u8..=255,
+    ) {
+        // The width-5 wNAF `mul_vartime` against the retired 4-bit
+        // window walk it replaced, over random, sparse-NAF (single
+        // nonzero digit), dense-NAF (every byte set) and edge scalars.
+        let base = JacobianPoint::from_affine(&mul_generator_vartime(&base_scalar));
+        let dense = Scalar::from_reduced(&U256::from_be_bytes(&[dense_byte; 32]));
+        for k in [a, sparse, dense].into_iter().chain(edge_scalars()) {
+            prop_assert_eq!(base.mul_vartime(&k), base.mul_vartime_window(&k));
+        }
+    }
+
+    #[test]
     fn ecdsa_roundtrip_and_strategy_agreement(key in arb_scalar(), msg in any::<[u8; 24]>()) {
         let kp = KeyPair::from_private(key);
         let sig = ecdsa::sign(&kp.private, &msg);
